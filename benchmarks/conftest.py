@@ -1,0 +1,28 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark regenerates one paper exhibit.  Simulation results are
+memoized in ``repro.experiments.runner``, so exhibits that read different
+statistics off the same runs (Figures 3/7/8/10/11) only pay once.
+
+Formatted tables are written to ``benchmarks/results/<name>.md`` so the
+regenerated rows are inspectable after a quiet pytest run.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def save_exhibit():
+    """Return a saver: save_exhibit(name, formatted_text)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def save(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.md").write_text(text + "\n")
+        print()
+        print(text)
+
+    return save

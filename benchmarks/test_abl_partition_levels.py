@@ -1,0 +1,16 @@
+"""Ablation: partition only L2, only L3, or both caches.
+
+Shape: partitioning both levels (the paper's design) must at least match
+the best single level in geomean.
+"""
+
+from repro.experiments import ablations
+
+
+def test_abl_partition_levels(benchmark, save_exhibit):
+    result = benchmark.pedantic(
+        ablations.run_partition_levels, rounds=1, iterations=1
+    )
+    save_exhibit("ablation_partition_levels", result.format())
+    l2_only, l3_only, both = result.rows[-1][1:]
+    assert both >= min(l2_only, l3_only) - 0.02

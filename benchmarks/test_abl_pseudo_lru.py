@@ -1,0 +1,19 @@
+"""Ablation: pseudo-LRU stack-position estimation (paper Section 3.4).
+
+Shape: NRU and tree-PLRU with Kedzierski-style position estimates stay
+within a few percent of true-LRU CSALT-CD.
+"""
+
+from repro.experiments import ablations
+
+
+def test_abl_pseudo_lru(benchmark, save_exhibit):
+    result = benchmark.pedantic(
+        ablations.run_pseudo_lru, rounds=1, iterations=1
+    )
+    save_exhibit("ablation_pseudo_lru", result.format())
+    true_lru, nru, plru, rrip = result.rows[-1][1:]
+    assert abs(true_lru - 1.0) < 1e-9
+    assert nru > 0.85, "NRU estimates must only cost a few percent"
+    assert plru > 0.85, "BT-PLRU estimates must only cost a few percent"
+    assert rrip > 0.80, "SRRIP estimates must stay in the same ballpark"

@@ -1,0 +1,16 @@
+"""Ablation: static 50/50 split vs dynamic partitioning (paper footnote 6).
+
+Shape: the dynamic schemes must match or beat the fixed split in geomean
+- the whole point of epoch-based repartitioning.
+"""
+
+from repro.experiments import ablations
+
+
+def test_abl_static_partition(benchmark, save_exhibit):
+    result = benchmark.pedantic(
+        ablations.run_static_vs_dynamic, rounds=1, iterations=1
+    )
+    save_exhibit("ablation_static", result.format())
+    static, dynamic, criticality = result.rows[-1][1:]
+    assert max(dynamic, criticality) >= static - 0.04

@@ -1,0 +1,18 @@
+"""Extension: five-level (LA57) paging, the paper's stated future threat.
+
+Shape: virtualized walks get more expensive with a fifth radix level, so
+the case for a large L3 TLB (and for managing its cache footprint) only
+strengthens - CSALT-CD's gain must not shrink.
+"""
+
+from repro.experiments import ablations
+
+
+def test_ext_5level_paging(benchmark, save_exhibit):
+    result = benchmark.pedantic(
+        ablations.run_five_level_paging, rounds=1, iterations=1
+    )
+    save_exhibit("extension_5level", result.format())
+    _, walk4, walk5, gain4, gain5 = result.rows[-1]
+    assert walk5 > walk4, "five-level walks must cost more"
+    assert gain5 >= gain4 - 0.05, "CSALT must stay at least as relevant"

@@ -1,0 +1,16 @@
+"""Extension: sequential TLB prefetching on top of CSALT-CD.
+
+Shape: prefetching never hurts meaningfully (the stream detector
+suppresses random-access prefetches) and helps streaming mixes.
+"""
+
+from repro.experiments import ablations
+
+
+def test_ext_tlb_prefetch(benchmark, save_exhibit):
+    result = benchmark.pedantic(
+        ablations.run_tlb_prefetch, rounds=1, iterations=1
+    )
+    save_exhibit("extension_prefetch", result.format())
+    geomean = result.rows[-1][2]
+    assert geomean > 0.97, "prefetching must not hurt overall"

@@ -1,0 +1,19 @@
+"""Figure 1: increase in L2 TLB MPKI caused by VM context switches.
+
+Paper shape: every mix's ratio exceeds 1, the geomean is well above 1
+(paper reports >6x at full scale), and the scattered-access mixes (ccomp)
+sit far above the streaming ones (streamcluster).
+"""
+
+from repro.experiments import figures
+
+
+def test_fig01_tlb_mpki_ratio(benchmark, save_exhibit):
+    result = benchmark.pedantic(figures.run_figure1, rounds=1, iterations=1)
+    save_exhibit("figure01", result.format())
+    by_mix = {row[0]: row[3] for row in result.rows}
+    assert by_mix["geomean"] > 1.2, "context switching must raise TLB MPKI"
+    # The big-footprint random-access mixes suffer far more than the
+    # streaming one.
+    assert max(by_mix["gups"], by_mix["graph500"]) > by_mix["streamcluster"]
+    assert all(ratio > 0 for ratio in by_mix.values())

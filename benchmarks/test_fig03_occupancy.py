@@ -1,0 +1,17 @@
+"""Figure 3: fraction of L2/L3 cache capacity occupied by TLB entries.
+
+Paper shape: a large fraction of both caches holds translation entries
+under POM-TLB with context switching (60% average at full scale), with
+connected component the most extreme.
+"""
+
+from repro.experiments import figures
+
+
+def test_fig03_occupancy(benchmark, save_exhibit):
+    result = benchmark.pedantic(figures.run_figure3, rounds=1, iterations=1)
+    save_exhibit("figure03", result.format())
+    by_program = {row[0]: row for row in result.rows}
+    assert by_program["ccomp"][2] > 0.1, "ccomp should flood L3 with TLB lines"
+    for program, l2_frac, l3_frac in result.rows:
+        assert 0.0 <= l2_frac <= 1.0 and 0.0 <= l3_frac <= 1.0, program

@@ -1,0 +1,19 @@
+"""Figure 7: the headline comparison, IPC normalized to POM-TLB.
+
+Paper shape: Conventional < POM-TLB <= CSALT-D <= CSALT-CD in geomean;
+the large-TLB schemes beat the conventional system on the TLB-bound
+mixes; ccomp shows the largest CSALT gain.
+"""
+
+from repro.experiments import figures
+
+
+def test_fig07_performance(benchmark, save_exhibit):
+    result = benchmark.pedantic(figures.run_figure7, rounds=1, iterations=1)
+    save_exhibit("figure07", result.format())
+    geomean = result.rows[-1]
+    conventional, pom, csalt_d, csalt_cd = geomean[1:]
+    assert pom == 1.0 or abs(pom - 1.0) < 1e-9
+    assert conventional < 1.0, "conventional must trail POM-TLB"
+    assert csalt_d >= 0.99, "CSALT-D must not lose to POM-TLB"
+    assert csalt_cd >= csalt_d - 0.02, "criticality weighting must not hurt"

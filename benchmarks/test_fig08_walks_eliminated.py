@@ -1,0 +1,16 @@
+"""Figure 8: fraction of page walks eliminated by the POM-TLB.
+
+Paper shape: the vast majority of walks disappear (97% average at full
+scale) for every TLB-pressured mix.
+"""
+
+from repro.experiments import figures
+
+
+def test_fig08_walks_eliminated(benchmark, save_exhibit):
+    result = benchmark.pedantic(figures.run_figure8, rounds=1, iterations=1)
+    save_exhibit("figure08", result.format())
+    by_mix = {row[0]: row[1] for row in result.rows}
+    for mix in ("gups", "ccomp", "canneal", "pagerank", "graph500"):
+        assert by_mix[mix] > 0.5, f"{mix}: POM-TLB should absorb most walks"
+    assert all(0.0 <= v <= 1.0 for v in by_mix.values())

@@ -1,0 +1,18 @@
+"""Figure 9: TLB way-share over time for the connected-component deep dive.
+
+Paper shape: the partition adapts across the workload's process/generate
+phases - the TLB share is neither pinned at the floor nor the ceiling,
+and decisions exist for both L2 and L3 caches.
+"""
+
+from repro.experiments import figures
+
+
+def test_fig09_partition_timeline(benchmark, save_exhibit):
+    result = benchmark.pedantic(figures.run_figure9, rounds=1, iterations=1)
+    save_exhibit("figure09", result.format())
+    assert result.l2_series, "L2 partition decisions must be recorded"
+    assert result.l3_series, "L3 partition decisions must be recorded"
+    l3_shares = [share for _, share in result.l3_series]
+    assert all(0.0 < s < 1.0 for s in l3_shares)
+    assert len(result.l3_series) >= 3, "multiple epochs must have elapsed"

@@ -1,0 +1,15 @@
+"""Figure 10: relative L2 data-cache MPKI over POM-TLB.
+
+Paper shape: CSALT never inflates the geomean L2 MPKI and reduces it on
+the contended mixes (ccomp up to ~30% at full scale).
+"""
+
+from repro.experiments import figures
+
+
+def test_fig10_l2_mpki(benchmark, save_exhibit):
+    result = benchmark.pedantic(figures.run_figure10, rounds=1, iterations=1)
+    save_exhibit("figure10", result.format())
+    geomean = result.rows[-1]
+    assert geomean[1] == 1.0 or abs(geomean[1] - 1.0) < 1e-9
+    assert geomean[3] < 1.1, "CSALT-CD must not blow up L2 MPKI"

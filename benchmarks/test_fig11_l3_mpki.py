@@ -1,0 +1,14 @@
+"""Figure 11: relative L3 data-cache MPKI over POM-TLB.
+
+Paper shape: CSALT-CD reduces L3 MPKI on contended mixes (ccomp up to
+~26% at full scale) and never inflates the geomean badly.
+"""
+
+from repro.experiments import figures
+
+
+def test_fig11_l3_mpki(benchmark, save_exhibit):
+    result = benchmark.pedantic(figures.run_figure11, rounds=1, iterations=1)
+    save_exhibit("figure11", result.format())
+    geomean = result.rows[-1]
+    assert geomean[3] < 1.1, "CSALT-CD must not blow up L3 MPKI"

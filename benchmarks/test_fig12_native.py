@@ -1,0 +1,14 @@
+"""Figure 12: CSALT-CD gain in the native (non-virtualized) context.
+
+Paper shape: gains are positive but much smaller than virtualized (5%
+geomean at full scale) because native walks are cheap.
+"""
+
+from repro.experiments import figures
+
+
+def test_fig12_native(benchmark, save_exhibit):
+    result = benchmark.pedantic(figures.run_figure12, rounds=1, iterations=1)
+    save_exhibit("figure12", result.format())
+    geomean = result.rows[-1][1]
+    assert geomean > 0.95, "CSALT-CD must not lose natively"

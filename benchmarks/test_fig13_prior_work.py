@@ -1,0 +1,17 @@
+"""Figure 13: comparison against TSB and DIP (normalized to POM-TLB).
+
+Paper shape: CSALT-CD wins overall; DIP is roughly at POM-TLB parity
+(it cannot tell the two streams apart); TSB trails because of its
+multi-lookup translation path.
+"""
+
+from repro.experiments import figures
+
+
+def test_fig13_prior_work(benchmark, save_exhibit):
+    result = benchmark.pedantic(figures.run_figure13, rounds=1, iterations=1)
+    save_exhibit("figure13", result.format())
+    tsb, dip, csalt_cd = result.rows[-1][1:]
+    assert csalt_cd > tsb, "CSALT-CD must beat TSB"
+    assert csalt_cd >= dip - 0.05, "CSALT-CD must at least match DIP"
+    assert dip > tsb, "even DIP-on-POM beats the multi-lookup TSB"

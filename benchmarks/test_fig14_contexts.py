@@ -1,0 +1,15 @@
+"""Figure 14: sensitivity to the number of VM contexts per core.
+
+Paper shape: CSALT-CD's gain over POM-TLB grows with context pressure
+(1 context smallest, 4 contexts largest).
+"""
+
+from repro.experiments import figures
+
+
+def test_fig14_contexts(benchmark, save_exhibit):
+    result = benchmark.pedantic(figures.run_figure14, rounds=1, iterations=1)
+    save_exhibit("figure14", result.format())
+    one, two, four = result.rows[-1][1:]
+    assert four >= one - 0.02, "gain must not shrink with more contexts"
+    assert all(v > 0.9 for v in (one, two, four))

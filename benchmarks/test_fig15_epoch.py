@@ -1,0 +1,16 @@
+"""Figure 15: sensitivity to the partitioning epoch length.
+
+Paper shape: the default epoch is at or near the best for most mixes;
+halving/doubling moves performance only slightly.
+"""
+
+from repro.experiments import figures
+
+
+def test_fig15_epoch(benchmark, save_exhibit):
+    result = benchmark.pedantic(figures.run_figure15, rounds=1, iterations=1)
+    save_exhibit("figure15", result.format())
+    short, default, long_ = result.rows[-1][1:]
+    assert abs(default - 1.0) < 1e-9
+    assert 0.8 < short < 1.2, "epoch sweep must stay in a narrow band"
+    assert 0.8 < long_ < 1.2

@@ -1,0 +1,16 @@
+"""Figure 16: sensitivity to the context-switch interval.
+
+Paper shape: CSALT-CD holds a steady gain over POM-TLB at 5/10/30 ms,
+with the longest quantum slightly lower (fewer switches to mitigate).
+"""
+
+from repro.experiments import figures
+
+
+def test_fig16_interval(benchmark, save_exhibit):
+    result = benchmark.pedantic(figures.run_figure16, rounds=1, iterations=1)
+    save_exhibit("figure16", result.format())
+    five, ten, thirty = result.rows[-1][1:]
+    assert all(v > 0.95 for v in (five, ten, thirty)), (
+        "CSALT-CD must not lose to POM-TLB at any interval"
+    )

@@ -1,0 +1,20 @@
+"""Table 1: average page-walk cycles per L2 TLB miss, native vs virtualized.
+
+Paper shape: virtualized walks are never cheaper than native walks, and
+the scattered-access workloads (connected component) blow up by an order
+of magnitude while streaming ones stay close to native.
+"""
+
+from repro.experiments import figures
+
+
+def test_tab1_walk_cycles(benchmark, save_exhibit):
+    result = benchmark.pedantic(figures.run_table1, rounds=1, iterations=1)
+    save_exhibit("table1", result.format())
+    for program, native, virtualized in result.rows:
+        assert virtualized >= native, program
+    by_program = {row[0]: row for row in result.rows}
+    _, ccomp_native, ccomp_virt = by_program["ccomp"]
+    assert ccomp_virt / max(1, ccomp_native) > 2, (
+        "ccomp virtualized walks should blow up vs native"
+    )

@@ -1,0 +1,84 @@
+"""Evaluate CSALT on a workload of your own.
+
+The library's schemes are workload-agnostic: anything that implements
+:class:`repro.workloads.base.Workload` can be simulated.  This example
+defines a synthetic key-value store — hash-table probes over a large
+huge-page heap plus a write-ahead log stream — and asks whether such a
+service would benefit from a large L3 TLB and TLB-aware partitioning.
+
+Usage::
+
+    python examples/custom_workload.py
+"""
+
+import numpy as np
+
+from repro import Scheme, run_simulation, small_config
+from repro.workloads.base import BATCH, REGION_4K_BASE, Workload
+
+
+class KeyValueStore(Workload):
+    """GET-heavy KV store: random probes + sequential log appends."""
+
+    name = "kvstore"
+
+    def __init__(
+        self,
+        heap_bytes: int = 768 * 1024 * 1024,
+        log_bytes: int = 8 * 1024 * 1024,
+        get_fraction: float = 0.85,
+        hot_fraction: float = 0.2,
+        hot_bias: float = 0.6,
+    ):
+        self.heap_bytes = heap_bytes
+        self.log_bytes = log_bytes
+        self.get_fraction = get_fraction
+        self.hot_fraction = hot_fraction
+        self.hot_bias = hot_bias
+        self.huge_va_limit = heap_bytes  # the heap is THP-backed
+
+    def thread_stream(self, thread_id, num_threads=8, seed=0):
+        rng = np.random.default_rng((seed, thread_id, 0x4B56))
+        buckets = self.heap_bytes // 64
+        hot_buckets = max(1, int(buckets * self.hot_fraction))
+        log_span = self.log_bytes // num_threads
+        log_base = REGION_4K_BASE + thread_id * log_span
+        log_cursor = 0
+        while True:
+            gets = rng.random(BATCH) < self.get_fraction
+            hots = rng.random(BATCH) < self.hot_bias
+            hot_picks = rng.integers(0, hot_buckets, size=BATCH)
+            cold_picks = rng.integers(0, buckets, size=BATCH)
+            for is_get, is_hot, hot, cold in zip(gets, hots, hot_picks, cold_picks):
+                bucket = int(hot) if is_hot else int(cold)
+                if is_get:
+                    yield bucket * 64, False
+                else:
+                    yield bucket * 64, True          # update the value
+                    yield log_base + log_cursor, True  # append to the WAL
+                    log_cursor = (log_cursor + 32) % log_span
+
+
+def main() -> None:
+    workload = KeyValueStore()
+    print("Custom workload: key-value store, two instances context-switched\n")
+    results = {}
+    for scheme in (Scheme.CONVENTIONAL, Scheme.POM_TLB, Scheme.CSALT_CD):
+        config = small_config(scheme=scheme)
+        results[scheme] = run_simulation(
+            config, [workload, KeyValueStore()], total_accesses=240_000
+        )
+    baseline = results[Scheme.POM_TLB]
+    print(f"{'scheme':<14}{'IPC':>9}{'vs POM-TLB':>12}{'L2TLB MPKI':>12}")
+    for scheme, result in results.items():
+        print(f"{scheme.label:<14}{result.ipc:>9.4f}"
+              f"{result.speedup_over(baseline):>11.2f}x"
+              f"{result.l2_tlb_mpki:>12.1f}")
+    print()
+    print("A service with a heap far beyond the TLB reach behaves like the")
+    print("paper's graph workloads: the large L3 TLB removes the page-walk")
+    print("tax, and partitioning keeps its entries from starving the data.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim: enables legacy editable installs on offline machines.
+
+The environment has no network and no `wheel` package, so PEP 517
+editable installs fail; `pip install -e .` falls back to this shim via
+`setup.py develop` when invoked with --no-use-pep517 (see README).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,1 @@
+"""repro.analysis subpackage: miss-curve and run-summary tooling."""

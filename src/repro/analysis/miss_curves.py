@@ -1,0 +1,101 @@
+"""Miss-curve analysis on top of the MSA stack-distance profilers.
+
+CSALT's partitioning decision is an argmax over the marginal-utility
+surface built from two miss curves (paper Eq. 1-2).  These helpers expose
+that surface for inspection — useful both for debugging partition
+behaviour and for the kind of utility analysis UCP-style papers plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.partitioning import marginal_utility
+from repro.core.stack_distance import StackDistanceProfiler
+
+
+def hit_curve(counters: Sequence[int]) -> List[int]:
+    """Cumulative hits for 0..K ways from an MSA counter array."""
+    curve = [0]
+    for count in counters[:-1]:
+        curve.append(curve[-1] + count)
+    return curve
+
+
+def miss_ratio_curve(counters: Sequence[int]) -> List[float]:
+    """Miss ratio for 0..K ways (1.0 at zero ways)."""
+    total = sum(counters)
+    if total == 0:
+        return [1.0] * len(counters)
+    hits = hit_curve(counters)
+    return [1.0 - h / total for h in hits]
+
+
+def marginal_gain(counters: Sequence[int]) -> List[int]:
+    """Extra hits contributed by each additional way (the MSA array
+    without the miss bucket) — the quantity marginal utility compares."""
+    return list(counters[:-1])
+
+
+@dataclass
+class UtilitySurface:
+    """The (CW)MU value for every legal data-way split of one cache."""
+
+    total_ways: int
+    values: List[float]
+    best_data_ways: int
+
+    def as_rows(self) -> List[Tuple[int, int, float]]:
+        """(data ways, tlb ways, utility) triples."""
+        return [
+            (n, self.total_ways - n, value)
+            for n, value in zip(range(1, self.total_ways), self.values)
+        ]
+
+
+def utility_surface(
+    data_counters: Sequence[int],
+    tlb_counters: Sequence[int],
+    total_ways: int,
+    weight_data: float = 1.0,
+    weight_tlb: float = 1.0,
+) -> UtilitySurface:
+    """Evaluate Eq. 1/2 for every candidate split."""
+    values = [
+        marginal_utility(
+            list(data_counters), list(tlb_counters), n, total_ways,
+            weight_data, weight_tlb,
+        )
+        for n in range(1, total_ways)
+    ]
+    best = max(range(len(values)), key=values.__getitem__) + 1
+    return UtilitySurface(total_ways=total_ways, values=values,
+                          best_data_ways=best)
+
+
+def profiler_summary(profiler: StackDistanceProfiler) -> str:
+    """One-line textual summary of a profiler's miss curve."""
+    total = profiler.total_accesses
+    if not total:
+        return "no accesses observed"
+    curve = miss_ratio_curve(profiler.counters)
+    knees = [f"{ways}w:{ratio:.2f}" for ways, ratio in enumerate(curve)
+             if ways in (1, profiler.ways // 2, profiler.ways)]
+    return (f"{total} accesses, miss ratio " + " -> ".join(knees))
+
+
+def ascii_bars(
+    values: Sequence[float], labels: Sequence[str], width: int = 40
+) -> str:
+    """Render values as horizontal ASCII bars (for CLI output)."""
+    if len(values) != len(labels):
+        raise ValueError("values and labels must align")
+    peak = max(values) if values else 1.0
+    peak = peak or 1.0
+    label_width = max((len(l) for l in labels), default=0)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, int(width * value / peak)) if value > 0 else ""
+        lines.append(f"{label.rjust(label_width)} | {bar} {value:.3f}")
+    return "\n".join(lines)

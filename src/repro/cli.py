@@ -1,0 +1,251 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run``    — simulate one evaluation point and print a summary
+               (optionally with a POM-TLB baseline comparison);
+* ``report`` — regenerate paper exhibits (all, or a named subset);
+* ``mixes``  — list the paper's programs and VM pairings;
+* ``characterize`` — profile workloads' memory behaviour without
+               simulating (footprint, page sizes, reuse);
+* ``trace``  — record a workload to a trace file, inspect one, or run a
+               recorded trace through the simulator.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.core.schemes import Scheme
+from repro.sim.config import small_config
+from repro.sim.engine import run_simulation
+from repro.sim.stats import SimulationResult
+from repro.workloads.mixes import MIXES, MIX_NAMES, PROGRAMS, make_mix
+
+_SCHEME_BY_NAME = {scheme.value: scheme for scheme in Scheme}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CSALT (MICRO 2017) reproduction toolkit",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="simulate one evaluation point")
+    run.add_argument("--mix", default="gups", choices=MIX_NAMES,
+                     help="workload pairing (Table 3)")
+    run.add_argument("--scheme", default="csalt-cd",
+                     choices=sorted(_SCHEME_BY_NAME),
+                     help="translation/cache-management scheme")
+    run.add_argument("--contexts", type=int, default=2,
+                     help="VM contexts per core")
+    run.add_argument("--accesses", type=int, default=240_000,
+                     help="total memory accesses to simulate")
+    run.add_argument("--native", action="store_true",
+                     help="non-virtualized (no nested walks)")
+    run.add_argument("--switch-ms", type=float, default=10.0,
+                     help="context-switch quantum in (paper) milliseconds")
+    run.add_argument("--levels", type=int, default=4, choices=(4, 5),
+                     help="page-table depth (5 = Intel LA57)")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--baseline", action="store_true",
+                     help="also run POM-TLB and report relative IPC")
+
+    report = commands.add_parser(
+        "report", help="regenerate paper exhibits (DESIGN.md section 6)"
+    )
+    report.add_argument("--out", default=None,
+                        help="write markdown to this file (default stdout)")
+    report.add_argument("--only", default=None,
+                        help="comma-separated exhibit names, e.g. "
+                             "figure7,figure8")
+
+    commands.add_parser("mixes", help="list programs and VM pairings")
+
+    characterize = commands.add_parser(
+        "characterize", help="profile workloads' memory behaviour (no sim)"
+    )
+    characterize.add_argument(
+        "programs", nargs="*", default=[],
+        help="program names (default: all six)",
+    )
+    characterize.add_argument("--accesses", type=int, default=50_000)
+    characterize.add_argument("--scale", type=float, default=0.25)
+
+    trace = commands.add_parser("trace", help="trace tooling")
+    trace_commands = trace.add_subparsers(dest="trace_command", required=True)
+    record = trace_commands.add_parser("record", help="record a program")
+    record.add_argument("program", choices=sorted(PROGRAMS))
+    record.add_argument("path", help="output .npz file")
+    record.add_argument("--accesses", type=int, default=100_000,
+                        help="accesses per thread")
+    record.add_argument("--scale", type=float, default=0.25)
+    record.add_argument("--seed", type=int, default=0)
+    info = trace_commands.add_parser("info", help="inspect a trace")
+    info.add_argument("path")
+    replay = trace_commands.add_parser("run", help="simulate a trace")
+    replay.add_argument("path")
+    replay.add_argument("--scheme", default="csalt-cd",
+                        choices=sorted(_SCHEME_BY_NAME))
+    replay.add_argument("--accesses", type=int, default=240_000)
+    return parser
+
+
+def _print_result(result: SimulationResult,
+                  baseline: Optional[SimulationResult] = None) -> None:
+    print(f"workload          : {result.workload}")
+    print(f"scheme            : {result.scheme}")
+    print(f"instructions      : {result.instructions}")
+    print(f"IPC (geomean)     : {result.ipc:.4f}")
+    if baseline is not None:
+        print(f"vs POM-TLB        : {result.speedup_over(baseline):.3f}x")
+    print(f"L2 TLB MPKI       : {result.l2_tlb_mpki:.2f}")
+    print(f"page walks        : {result.page_walks} "
+          f"(mean {result.walk_mean_cycles:.0f} cycles)")
+    print(f"walks eliminated  : {result.walks_eliminated_fraction:.2%}")
+    print(f"L2/L3 D$ MPKI     : {result.l2_cache_mpki:.1f} / "
+          f"{result.l3_cache_mpki:.1f}")
+    print(f"TLB share of L3 D$: {result.mean_l3_tlb_occupancy:.1%}")
+    switches = int(result.extra.get("context_switches", 0))
+    print(f"context switches  : {switches}")
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    scheme = _SCHEME_BY_NAME[args.scheme]
+    config = small_config(
+        scheme=scheme,
+        contexts_per_core=args.contexts,
+        virtualized=not args.native,
+        switch_interval_ms=args.switch_ms,
+        page_table_levels=args.levels,
+    )
+    workloads = make_mix(args.mix, contexts=args.contexts, scale=0.25)
+    started = time.time()
+    result = run_simulation(
+        config, workloads, total_accesses=args.accesses, seed=args.seed,
+        workload_name=args.mix,
+    )
+    baseline = None
+    if args.baseline and scheme is not Scheme.POM_TLB:
+        baseline = run_simulation(
+            config.with_scheme(Scheme.POM_TLB),
+            make_mix(args.mix, contexts=args.contexts, scale=0.25),
+            total_accesses=args.accesses, seed=args.seed,
+            workload_name=args.mix,
+        )
+    _print_result(result, baseline)
+    print(f"(simulated in {time.time() - started:.1f}s)")
+    return 0
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    from repro.experiments import report as report_module
+
+    experiments = report_module.EXPERIMENTS
+    if args.only:
+        wanted = {name.strip() for name in args.only.split(",")}
+        unknown = wanted - {name for name, _ in experiments}
+        if unknown:
+            print(f"unknown exhibits: {sorted(unknown)}", file=sys.stderr)
+            print(f"available: {[n for n, _ in experiments]}", file=sys.stderr)
+            return 2
+        sections = []
+        for name, experiment in experiments:
+            if name in wanted:
+                print(f"running {name}...", file=sys.stderr)
+                sections.append(experiment().format())
+        text = "\n\n".join(sections)
+    else:
+        text = report_module.generate_report(
+            progress=lambda s: print(s, file=sys.stderr)
+        )
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+def _command_mixes() -> int:
+    print("programs:")
+    for name in sorted(PROGRAMS):
+        print(f"  {name}")
+    print("\nmixes (VM1 + VM2):")
+    for name, (vm1, vm2) in MIXES.items():
+        print(f"  {name:<16} {vm1} + {vm2}")
+    return 0
+
+
+def _command_characterize(args: argparse.Namespace) -> int:
+    from repro.analysis.characterize import characterize, compare
+    from repro.workloads.mixes import PROGRAMS, make_program
+
+    names = args.programs or sorted(PROGRAMS)
+    unknown = set(names) - set(PROGRAMS)
+    if unknown:
+        print(f"unknown programs: {sorted(unknown)}", file=sys.stderr)
+        return 2
+    profiles = [
+        characterize(make_program(name, scale=args.scale),
+                     accesses=args.accesses)
+        for name in names
+    ]
+    print(compare(profiles))
+    return 0
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    from repro.workloads.mixes import make_program
+    from repro.workloads.trace import TraceWorkload, record_trace, trace_info
+
+    if args.trace_command == "record":
+        workload = make_program(args.program, scale=args.scale)
+        record_trace(workload, args.path,
+                     accesses_per_thread=args.accesses, seed=args.seed)
+        info = trace_info(args.path)
+        print(f"recorded {args.program} -> {args.path}: "
+              f"{info.num_threads} threads x {info.accesses_per_thread} "
+              f"accesses, {info.distinct_pages} distinct pages")
+        return 0
+    if args.trace_command == "info":
+        info = trace_info(args.path)
+        print(f"threads             : {info.num_threads}")
+        print(f"accesses per thread : {info.accesses_per_thread}")
+        print(f"huge VA limit       : {info.huge_va_limit:#x}")
+        print(f"distinct 4K pages   : {info.distinct_pages}")
+        return 0
+    # trace run
+    workload = TraceWorkload(args.path)
+    scheme = _SCHEME_BY_NAME[args.scheme]
+    config = small_config(scheme=scheme)
+    result = run_simulation(
+        config, [workload, TraceWorkload(args.path)],
+        total_accesses=args.accesses,
+    )
+    _print_result(result)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "report":
+        return _command_report(args)
+    if args.command == "mixes":
+        return _command_mixes()
+    if args.command == "characterize":
+        return _command_characterize(args)
+    if args.command == "trace":
+        return _command_trace(args)
+    raise AssertionError(f"unhandled command {args.command}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

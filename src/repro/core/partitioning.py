@@ -1,0 +1,250 @@
+"""CSALT dynamic cache partitioning (paper Algorithms 1-3, Eqs. 1-2).
+
+``marginal_utility`` implements Eq. 1/2: the predicted overall hit count of
+a partitioning that gives N ways to data and K-N to TLB entries, read off
+the two stack-distance profilers, optionally scaled by criticality weights
+(S_Dat, S_Tr).  ``best_partition`` is Algorithm 1's argmax over N.
+
+``PartitionController`` wires this to a live cache: it observes every
+access, and at each epoch boundary recomputes the partition and installs
+it via ``Cache.set_partition``.  It also keeps the timeline of partition
+decisions used to reproduce Figure 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.stack_distance import ProfilerPair
+from repro.mem.cache import Cache, LineKind
+
+#: Paper default: repartition every 256K cache accesses (Section 5.3).
+DEFAULT_EPOCH_ACCESSES = 256_000
+
+#: Minimum ways either stream may hold (Algorithm 1's Nmin; both data and
+#: TLB always keep at least one way so neither stream is starved).
+N_MIN = 1
+
+
+def marginal_utility(
+    data_counters: List[int],
+    tlb_counters: List[int],
+    data_ways: int,
+    total_ways: int,
+    weight_data: float = 1.0,
+    weight_tlb: float = 1.0,
+) -> float:
+    """Criticality-weighted marginal utility of a candidate partition.
+
+    With unit weights this is Eq. 1 (CSALT-D); with measured weights it is
+    Eq. 2 (CSALT-CD).  ``data_counters``/``tlb_counters`` are the MSA
+    profiler arrays (length ``total_ways + 1``).
+    """
+    if not N_MIN <= data_ways <= total_ways - N_MIN:
+        raise ValueError(
+            f"data_ways must be in [{N_MIN}, {total_ways - N_MIN}], got {data_ways}"
+        )
+    data_hits = sum(data_counters[:data_ways])
+    tlb_hits = sum(tlb_counters[: total_ways - data_ways])
+    return weight_data * data_hits + weight_tlb * tlb_hits
+
+
+def best_partition(
+    data_counters: List[int],
+    tlb_counters: List[int],
+    total_ways: int,
+    weight_data: float = 1.0,
+    weight_tlb: float = 1.0,
+) -> int:
+    """Algorithm 1: the data-way count N maximizing (CW)MU.
+
+    Ties break toward the more balanced split closest to the middle, so an
+    idle stream cannot monopolize the cache on zero evidence.
+    """
+    middle = total_ways / 2
+    best_n = N_MIN
+    best_value: Optional[float] = None
+    for candidate in range(N_MIN, total_ways - N_MIN + 1):
+        value = marginal_utility(
+            data_counters, tlb_counters, candidate, total_ways,
+            weight_data, weight_tlb,
+        )
+        better = best_value is None or value > best_value
+        tie = best_value is not None and value == best_value
+        if tie and abs(candidate - middle) < abs(best_n - middle):
+            better = True
+        if better:
+            best_value = value
+            best_n = candidate
+    return best_n
+
+
+def lookahead_partition(
+    data_counters: List[int],
+    tlb_counters: List[int],
+    total_ways: int,
+    weight_data: float = 1.0,
+    weight_tlb: float = 1.0,
+) -> int:
+    """UCP's greedy lookahead allocation (Qureshi & Patt, cited as [60]).
+
+    Hardware-friendly alternative to the exhaustive argmax: repeatedly
+    grant ways to whichever stream offers the best *hits gained per way*
+    over any lookahead distance, starting from one guaranteed way each.
+    With only two streams the exhaustive search (``best_partition``) is
+    cheap and optimal; this exists for the ablation comparing the two and
+    matches the argmax in the common convex cases.
+    """
+    curves = (
+        [weight_data * c for c in data_counters],
+        [weight_tlb * c for c in tlb_counters],
+    )
+    allocation = [N_MIN, N_MIN]
+    remaining = total_ways - 2 * N_MIN
+
+    def best_step(stream: int, budget: int):
+        """(utility-per-way, ways) of the best lookahead for ``stream``."""
+        counters = curves[stream]
+        start = allocation[stream]
+        best = (0.0, 0)
+        gained = 0.0
+        for extra in range(1, budget + 1):
+            index = start + extra - 1
+            if index >= total_ways:
+                break
+            gained += counters[index]
+            rate = gained / extra
+            if rate > best[0]:
+                best = (rate, extra)
+        return best
+
+    while remaining > 0:
+        data_step = best_step(0, remaining)
+        tlb_step = best_step(1, remaining)
+        if data_step[1] == 0 and tlb_step[1] == 0:
+            # No stream gains anything: split the leftovers evenly.
+            allocation[0] += remaining - remaining // 2
+            allocation[1] += remaining // 2
+            break
+        if data_step[0] >= tlb_step[0]:
+            stream, step = 0, max(1, data_step[1])
+        else:
+            stream, step = 1, max(1, tlb_step[1])
+        step = min(step, remaining)
+        allocation[stream] += step
+        remaining -= step
+    return allocation[0]
+
+
+@dataclass
+class PartitionDecision:
+    """One epoch-boundary outcome, kept for the Figure 9 timeline."""
+
+    access_count: int
+    data_ways: int
+    tlb_ways: int
+    weight_data: float
+    weight_tlb: float
+
+    @property
+    def tlb_fraction(self) -> float:
+        return self.tlb_ways / (self.data_ways + self.tlb_ways)
+
+
+#: Provider of (S_Dat, S_Tr) criticality weights, queried at each epoch.
+WeightProvider = Callable[[], Tuple[float, float]]
+
+
+def unit_weights() -> Tuple[float, float]:
+    """CSALT-D: data and TLB hits valued equally."""
+    return 1.0, 1.0
+
+
+class PartitionController:
+    """Drives one cache's CSALT partition across epochs.
+
+    ``weight_provider`` distinguishes the two schemes: ``unit_weights``
+    gives CSALT-D; a :class:`~repro.core.criticality.CriticalityEstimator`
+    method gives CSALT-CD.  With ``estimate_positions=True`` the profilers
+    run in pseudo-LRU estimate mode off the main cache's recency state
+    (paper Section 3.4) instead of shadow tags.
+    """
+
+    def __init__(
+        self,
+        cache: Cache,
+        epoch_accesses: int = DEFAULT_EPOCH_ACCESSES,
+        weight_provider: WeightProvider = unit_weights,
+        sample_shift: int = 4,
+        estimate_positions: bool = False,
+        initial_data_ways: Optional[int] = None,
+    ):
+        if epoch_accesses < 1:
+            raise ValueError("epoch length must be positive")
+        self.cache = cache
+        self.epoch_accesses = epoch_accesses
+        self.weight_provider = weight_provider
+        self.estimate_positions = estimate_positions
+        self.profilers = ProfilerPair.for_ways(cache.ways, sample_shift)
+        self._accesses_in_epoch = 0
+        self.total_accesses = 0
+        self.timeline: List[PartitionDecision] = []
+        start = initial_data_ways if initial_data_ways is not None else cache.ways // 2
+        cache.set_partition(start)
+        self._record_decision(start, 1.0, 1.0)
+
+    # ------------------------------------------------------------------
+    def observe(self, kind: LineKind, set_index: int, tag: int, hit: bool) -> None:
+        """Feed one cache access to the profilers; repartition on epoch end.
+
+        Call *after* the cache lookup so ``cache.last_stack_position`` is
+        valid in estimate mode.
+        """
+        profiler = self.profilers.data if kind is LineKind.DATA else self.profilers.tlb
+        if self.estimate_positions:
+            position = self.cache.last_stack_position if hit else None
+            profiler.record_position(position)
+        else:
+            profiler.record(set_index, tag)
+        self._accesses_in_epoch += 1
+        self.total_accesses += 1
+        if self._accesses_in_epoch >= self.epoch_accesses:
+            self.repartition()
+
+    def repartition(self) -> int:
+        """Epoch boundary: Algorithm 1 (+ weights) then install the split."""
+        weight_data, weight_tlb = self.weight_provider()
+        data_ways = best_partition(
+            self.profilers.data.counters,
+            self.profilers.tlb.counters,
+            self.cache.ways,
+            weight_data,
+            weight_tlb,
+        )
+        self.cache.set_partition(data_ways)
+        self._record_decision(data_ways, weight_data, weight_tlb)
+        self.profilers.decay()
+        self._accesses_in_epoch = 0
+        return data_ways
+
+    def _record_decision(
+        self, data_ways: int, weight_data: float, weight_tlb: float
+    ) -> None:
+        self.timeline.append(
+            PartitionDecision(
+                access_count=self.total_accesses,
+                data_ways=data_ways,
+                tlb_ways=self.cache.ways - data_ways,
+                weight_data=weight_data,
+                weight_tlb=weight_tlb,
+            )
+        )
+
+    @property
+    def current_data_ways(self) -> int:
+        return self.timeline[-1].data_ways
+
+    def tlb_fraction_timeline(self) -> List[Tuple[int, float]]:
+        """(access count, TLB way share) pairs — the Figure 9 series."""
+        return [(d.access_count, d.tlb_fraction) for d in self.timeline]

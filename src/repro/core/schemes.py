@@ -1,0 +1,77 @@
+"""The translation/cache-management schemes evaluated in the paper.
+
+Each enum member bundles the configuration axes the simulator needs:
+whether a POM-TLB (or TSB) backs the L2 TLB, which cache-partitioning mode
+runs, and whether DIP insertion is active.  The set matches the paper's
+result figures:
+
+* ``CONVENTIONAL`` — L1/L2 TLBs + 2-D page walker only (Figure 7 baseline);
+* ``POM_TLB`` — adds the large L3 TLB, plain LRU caches (Ryoo et al.);
+* ``CSALT_D`` — POM-TLB + dynamic partitioning, Eq. 1;
+* ``CSALT_CD`` — POM-TLB + criticality-weighted partitioning, Eq. 2;
+* ``CSALT_STATIC`` — POM-TLB + a fixed half/half split (footnote 6 ablation);
+* ``TSB`` — software translation storage buffers (Figure 13);
+* ``DIP`` — POM-TLB + DIP insertion instead of partitioning (Figure 13).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class PartitionMode(Enum):
+    NONE = "none"
+    STATIC = "static"
+    DYNAMIC = "dynamic"
+    CRITICALITY = "criticality"
+
+
+class Scheme(Enum):
+    CONVENTIONAL = "conventional"
+    POM_TLB = "pom-tlb"
+    CSALT_D = "csalt-d"
+    CSALT_CD = "csalt-cd"
+    CSALT_STATIC = "csalt-static"
+    TSB = "tsb"
+    DIP = "dip"
+
+    @property
+    def uses_pom_tlb(self) -> bool:
+        return self in (
+            Scheme.POM_TLB,
+            Scheme.CSALT_D,
+            Scheme.CSALT_CD,
+            Scheme.CSALT_STATIC,
+            Scheme.DIP,
+        )
+
+    @property
+    def uses_tsb(self) -> bool:
+        return self is Scheme.TSB
+
+    @property
+    def partition_mode(self) -> PartitionMode:
+        if self is Scheme.CSALT_D:
+            return PartitionMode.DYNAMIC
+        if self is Scheme.CSALT_CD:
+            return PartitionMode.CRITICALITY
+        if self is Scheme.CSALT_STATIC:
+            return PartitionMode.STATIC
+        return PartitionMode.NONE
+
+    @property
+    def uses_dip(self) -> bool:
+        return self is Scheme.DIP
+
+    @property
+    def label(self) -> str:
+        """Display name used in the paper's figures."""
+        return {
+            Scheme.CONVENTIONAL: "Conventional",
+            Scheme.POM_TLB: "POM-TLB",
+            Scheme.CSALT_D: "CSALT-D",
+            Scheme.CSALT_CD: "CSALT-CD",
+            Scheme.CSALT_STATIC: "CSALT-Static",
+            Scheme.TSB: "TSB",
+            Scheme.DIP: "DIP",
+        }[self]

@@ -1,0 +1,11 @@
+"""repro.experiments subpackage: the paper's evaluation, runnable.
+
+``figures`` has one ``run_*`` per paper exhibit, ``ablations`` the design
+ablations and extensions, ``runner`` the cached per-point simulator, and
+``report`` the all-in-one markdown generator
+(``python -m repro.experiments.report``).
+"""
+
+from repro.experiments.runner import clear_cache, run_point
+
+__all__ = ["clear_cache", "run_point"]

@@ -1,0 +1,129 @@
+"""Shared experiment runner: one cached simulation per evaluation point.
+
+Several of the paper's figures read different statistics off the *same*
+runs (Figures 3, 7, 8, 10 and 11 all use the main 10-mix x 4-scheme
+grid), so results are memoized on the full run signature.  All
+experiments use the quarter-scale preset (``small_config`` +
+``make_mix(scale=0.25)``); see DESIGN.md Section 5 for the scaling
+argument.
+
+Environment knobs (read once at import):
+
+* ``REPRO_TOTAL_ACCESSES`` — accesses per run (default 240 000);
+* ``REPRO_SEED`` — workload seed.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Tuple
+
+from repro.core.schemes import Scheme
+from repro.sim.config import SMALL_WORKLOAD_SCALE, SystemConfig, small_config
+from repro.sim.engine import run_simulation
+from repro.sim.stats import SimulationResult
+from repro.workloads.mixes import MIX_NAMES, make_mix
+
+DEFAULT_TOTAL_ACCESSES = int(os.environ.get("REPRO_TOTAL_ACCESSES", 240_000))
+DEFAULT_SEED = int(os.environ.get("REPRO_SEED", 0))
+
+#: Workload scale paired with the quarter-scale hardware preset.
+WORKLOAD_SCALE = SMALL_WORKLOAD_SCALE
+
+_cache: Dict[Tuple, SimulationResult] = {}
+
+
+def run_point(
+    mix_name: str,
+    scheme: Scheme,
+    contexts: int = 2,
+    virtualized: bool = True,
+    switch_interval_ms: float = 10.0,
+    epoch_accesses: Optional[int] = None,
+    replacement: str = "lru",
+    estimate_positions: bool = False,
+    static_data_ways: Optional[int] = None,
+    partition_l2_only: bool = False,
+    partition_l3_only: bool = False,
+    page_table_levels: int = 4,
+    tlb_prefetch: bool = False,
+    total_accesses: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> SimulationResult:
+    """Run (or fetch from cache) one evaluation point."""
+    total = total_accesses if total_accesses is not None else DEFAULT_TOTAL_ACCESSES
+    seed = seed if seed is not None else DEFAULT_SEED
+    key = (
+        mix_name, scheme, contexts, virtualized, switch_interval_ms,
+        epoch_accesses, replacement, estimate_positions, static_data_ways,
+        partition_l2_only, partition_l3_only, page_table_levels,
+        tlb_prefetch, total, seed,
+    )
+    cached = _cache.get(key)
+    if cached is not None:
+        return cached
+    overrides = dict(
+        scheme=scheme,
+        contexts_per_core=contexts,
+        virtualized=virtualized,
+        switch_interval_ms=switch_interval_ms,
+        replacement=replacement,
+        estimate_positions=estimate_positions,
+        static_data_ways=static_data_ways,
+        page_table_levels=page_table_levels,
+        tlb_prefetch=tlb_prefetch,
+    )
+    if epoch_accesses is not None:
+        overrides["epoch_accesses"] = epoch_accesses
+    config = small_config(**overrides)
+    workloads = make_mix(mix_name, contexts=contexts, scale=WORKLOAD_SCALE)
+    if partition_l2_only or partition_l3_only:
+        result = _run_partial_partition(
+            config, workloads, total, seed, mix_name,
+            partition_l2_only, partition_l3_only,
+        )
+    else:
+        result = run_simulation(
+            config, workloads, total_accesses=total, seed=seed,
+            workload_name=mix_name,
+        )
+    _cache[key] = result
+    return result
+
+
+def _run_partial_partition(
+    config: SystemConfig,
+    workloads,
+    total: int,
+    seed: int,
+    mix_name: str,
+    l2_only: bool,
+    l3_only: bool,
+) -> SimulationResult:
+    """Ablation: disable partitioning at one cache level (DESIGN.md §7)."""
+
+    def disable_one_level(system) -> None:
+        if l2_only:
+            system.l3_controller = None
+            system.l3.set_partition(None)
+        if l3_only:
+            for core in system.cores:
+                core.l2_controller = None
+                core.l2.set_partition(None)
+
+    return run_simulation(
+        config, workloads, total_accesses=total, seed=seed,
+        workload_name=mix_name, system_setup=disable_one_level,
+    )
+
+
+def clear_cache() -> None:
+    _cache.clear()
+
+
+def cache_size() -> int:
+    return len(_cache)
+
+
+def all_mixes() -> list:
+    return list(MIX_NAMES)

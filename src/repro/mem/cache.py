@@ -1,0 +1,362 @@
+"""Set-associative cache with type-tagged lines and way partitioning.
+
+Every line carries a *kind* — ``DATA`` or ``TLB`` — because CSALT's whole
+premise is that the L2/L3 data caches hold both ordinary data lines and
+cached POM-TLB (translation) entries, and that a content-oblivious
+replacement policy lets the two streams thrash each other (paper Section
+2.2).  The cache exposes:
+
+* ``lookup`` / ``fill`` — the datapath operations; fills honor the active
+  way partition when one is installed (victims are chosen inside the
+  owning partition, lookups always scan all ways — paper Section 3.1);
+* ``set_partition`` — installs a new data/TLB way split (the epoch-boundary
+  action of CSALT-D / CSALT-CD);
+* ``occupancy_by_kind`` — the periodic scan the authors added to their
+  simulator to produce Figure 3;
+* optional DIP set-dueling insertion (the Figure 13 comparison scheme).
+
+Internally each set is a ``{tag: way}`` dict plus parallel per-way arrays
+(tag/dirty/kind); this is the simulator's hottest structure, so it avoids
+per-line objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+from repro.mem.address import CACHE_LINE_BYTES
+from repro.mem.replacement import ReplacementPolicy, make_policy
+
+
+class LineKind(Enum):
+    """What a cache line holds: program data or a translation entry."""
+
+    DATA = 0
+    TLB = 1
+
+
+_INVALID = -1
+
+
+@dataclass
+class Eviction:
+    """A victim pushed out by a fill, for writeback propagation."""
+
+    address: int
+    kind: LineKind
+    dirty: bool
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters, split by line kind."""
+
+    hits: int = 0
+    misses: int = 0
+    data_hits: int = 0
+    data_misses: int = 0
+    tlb_hits: int = 0
+    tlb_misses: int = 0
+    writebacks: int = 0
+    fills: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+@dataclass
+class DipDueler:
+    """DIP set-dueling monitor (Qureshi et al.): LRU-insert vs BIP-insert.
+
+    Leader sets are chosen by set-index stride; a saturating PSEL counter
+    tracks which leader policy misses less, and follower sets adopt the
+    winner.  BIP inserts at MRU only once every ``bip_throttle`` fills.
+    """
+
+    stride: int = 32
+    psel: int = 512
+    psel_max: int = 1023
+    bip_throttle: int = 32
+    _bip_count: int = field(default=0, repr=False)
+
+    def leader_role(self, set_index: int) -> Optional[str]:
+        if set_index % self.stride == 0:
+            return "lru"
+        if set_index % self.stride == 1:
+            return "bip"
+        return None
+
+    def record_miss(self, set_index: int) -> None:
+        role = self.leader_role(set_index)
+        if role == "lru":
+            self.psel = min(self.psel_max, self.psel + 1)
+        elif role == "bip":
+            self.psel = max(0, self.psel - 1)
+
+    def insert_at_mru(self, set_index: int) -> bool:
+        role = self.leader_role(set_index)
+        use_bip = role == "bip" or (role is None and self.psel > self.psel_max // 2)
+        if not use_bip:
+            return True
+        self._bip_count += 1
+        return self._bip_count % self.bip_throttle == 0
+
+
+class Cache:
+    """One level of a set-associative, write-back, write-allocate cache."""
+
+    def __init__(
+        self,
+        name: str,
+        size_bytes: int,
+        ways: int,
+        latency: int,
+        policy: str | ReplacementPolicy = "lru",
+        line_bytes: int = CACHE_LINE_BYTES,
+        dip: bool = False,
+    ):
+        if size_bytes % (ways * line_bytes):
+            raise ValueError(
+                f"{name}: size {size_bytes} not divisible by ways*line "
+                f"({ways}*{line_bytes})"
+            )
+        self.name = name
+        self.size_bytes = size_bytes
+        self.ways = ways
+        self.latency = latency
+        self.line_bytes = line_bytes
+        self.num_sets = size_bytes // (ways * line_bytes)
+        if self.num_sets & (self.num_sets - 1):
+            raise ValueError(f"{name}: set count {self.num_sets} not a power of two")
+        self._line_shift = line_bytes.bit_length() - 1
+        self._set_mask = self.num_sets - 1
+        self._set_bits = self.num_sets.bit_length() - 1
+        if isinstance(policy, ReplacementPolicy):
+            self.policy = policy
+        else:
+            self.policy = make_policy(policy, ways)
+        sets = self.num_sets
+        self._tag_to_way: List[Dict[int, int]] = [dict() for _ in range(sets)]
+        self._way_tag: List[List[int]] = [[_INVALID] * ways for _ in range(sets)]
+        self._way_dirty: List[List[bool]] = [[False] * ways for _ in range(sets)]
+        # Kinds stored as LineKind.value ints for speed.
+        self._way_kind: List[List[int]] = [[0] * ways for _ in range(sets)]
+        self._recency = [self.policy.new_set_state() for _ in range(sets)]
+        self._free_count: List[int] = [ways] * sets
+        self.stats = CacheStats()
+        # Partition: number of ways reserved for DATA lines; None = unpartitioned.
+        self._data_ways: Optional[int] = None
+        self._partition_ranges = (range(ways), range(ways))
+        self.dip = DipDueler() if dip else None
+        # Most recent access's estimated LRU stack position, for profilers
+        # running in pseudo-LRU estimation mode (paper Section 3.4).
+        self.last_stack_position: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Geometry helpers
+    # ------------------------------------------------------------------
+    def index_of(self, address: int):
+        """Return (set index, tag) for a byte address."""
+        line = address >> self._line_shift
+        return line & self._set_mask, line >> self._set_bits
+
+    # ------------------------------------------------------------------
+    # Partition control (CSALT epoch boundary)
+    # ------------------------------------------------------------------
+    @property
+    def data_ways(self) -> Optional[int]:
+        return self._data_ways
+
+    def set_partition(self, data_ways: Optional[int]) -> None:
+        """Reserve ``data_ways`` ways per set for data lines.
+
+        ``None`` removes the partition.  At least one way must remain on
+        each side, mirroring the paper's search range ``Nmin..K-1``.
+        """
+        if data_ways is not None and not 1 <= data_ways <= self.ways - 1:
+            raise ValueError(
+                f"{self.name}: data_ways must be in [1, {self.ways - 1}], "
+                f"got {data_ways}"
+            )
+        self._data_ways = data_ways
+        if data_ways is None:
+            self._partition_ranges = (range(self.ways), range(self.ways))
+        else:
+            self._partition_ranges = (
+                range(data_ways),
+                range(data_ways, self.ways),
+            )
+
+    def _candidate_ways(self, kind: LineKind) -> range:
+        return self._partition_ranges[kind.value]
+
+    # ------------------------------------------------------------------
+    # Datapath
+    # ------------------------------------------------------------------
+    def lookup(self, address: int, kind: LineKind, is_write: bool = False) -> bool:
+        """Probe for ``address``; update recency and stats.
+
+        All ways are scanned regardless of the partition, because lines may
+        sit in the other partition's ways after a repartition (paper
+        Section 3.1, Cache Lookup).
+        """
+        line = address >> self._line_shift
+        set_index = line & self._set_mask
+        tag = line >> self._set_bits
+        way = self._tag_to_way[set_index].get(tag)
+        stats = self.stats
+        if way is not None:
+            recency = self._recency[set_index]
+            self.last_stack_position = self.policy.stack_position(recency, way)
+            self.policy.touch(recency, way)
+            if is_write:
+                self._way_dirty[set_index][way] = True
+            stats.hits += 1
+            if kind is LineKind.DATA:
+                stats.data_hits += 1
+            else:
+                stats.tlb_hits += 1
+            return True
+        self.last_stack_position = None
+        stats.misses += 1
+        if kind is LineKind.DATA:
+            stats.data_misses += 1
+        else:
+            stats.tlb_misses += 1
+        if self.dip is not None:
+            self.dip.record_miss(set_index)
+        return False
+
+    def fill(
+        self, address: int, kind: LineKind, dirty: bool = False
+    ) -> Optional[Eviction]:
+        """Install ``address`` after a miss; return the victim if valid.
+
+        The victim is the LRU line among the ways owned by ``kind``'s
+        partition (paper Section 3.1, Cache Replacement).
+        """
+        line = address >> self._line_shift
+        set_index = line & self._set_mask
+        tag = line >> self._set_bits
+        tags = self._tag_to_way[set_index]
+        way_tag = self._way_tag[set_index]
+        candidates = self._partition_ranges[kind.value]
+        victim_way = None
+        if self._free_count[set_index]:
+            for way in candidates:
+                if way_tag[way] == _INVALID:
+                    victim_way = way
+                    self._free_count[set_index] -= 1
+                    break
+        if victim_way is None:
+            victim_way = self.policy.victim(self._recency[set_index], candidates)
+        evicted = None
+        old_tag = way_tag[victim_way]
+        if old_tag != _INVALID:
+            del tags[old_tag]
+            old_dirty = self._way_dirty[set_index][victim_way]
+            victim_address = (
+                (old_tag << self._set_bits) | set_index
+            ) << self._line_shift
+            evicted = Eviction(
+                victim_address,
+                LineKind(self._way_kind[set_index][victim_way]),
+                old_dirty,
+            )
+            if old_dirty:
+                self.stats.writebacks += 1
+        way_tag[victim_way] = tag
+        tags[tag] = victim_way
+        self._way_dirty[set_index][victim_way] = dirty
+        self._way_kind[set_index][victim_way] = kind.value
+        at_mru = True
+        if self.dip is not None:
+            at_mru = self.dip.insert_at_mru(set_index)
+        self.policy.insert(self._recency[set_index], victim_way, at_mru=at_mru)
+        self.stats.fills += 1
+        return evicted
+
+    def write_back(self, address: int, kind: LineKind) -> Optional[Eviction]:
+        """Absorb a dirty victim from the level above.
+
+        If the line is present it is just marked dirty; otherwise it is
+        installed dirty (non-inclusive hierarchy).  Writebacks do not touch
+        the demand hit/miss statistics.
+        """
+        line = address >> self._line_shift
+        set_index = line & self._set_mask
+        tag = line >> self._set_bits
+        way = self._tag_to_way[set_index].get(tag)
+        if way is not None:
+            self._way_dirty[set_index][way] = True
+            return None
+        return self.fill(address, kind, dirty=True)
+
+    def probe(self, address: int) -> bool:
+        """Side-effect-free presence check (no recency or stats update)."""
+        set_index, tag = self.index_of(address)
+        return tag in self._tag_to_way[set_index]
+
+    def invalidate(self, address: int) -> bool:
+        """Drop ``address`` if present; returns whether a line was dropped."""
+        set_index, tag = self.index_of(address)
+        way = self._tag_to_way[set_index].pop(tag, None)
+        if way is None:
+            return False
+        self._way_tag[set_index][way] = _INVALID
+        self._way_dirty[set_index][way] = False
+        self._free_count[set_index] += 1
+        return True
+
+    def kind_at(self, address: int) -> Optional[LineKind]:
+        """Kind of the resident line, or None if absent (test helper)."""
+        set_index, tag = self.index_of(address)
+        way = self._tag_to_way[set_index].get(tag)
+        if way is None:
+            return None
+        return LineKind(self._way_kind[set_index][way])
+
+    # ------------------------------------------------------------------
+    # Introspection (Figure 3 occupancy scan and friends)
+    # ------------------------------------------------------------------
+    def occupancy_by_kind(self, sample_shift: int = 0) -> dict:
+        """Fraction of capacity holding valid lines of each kind.
+
+        ``sample_shift`` scans only every ``2**sample_shift``-th set — the
+        periodic-scan shortcut the paper's footnote 2 describes.
+        """
+        step = 1 << sample_shift
+        data_count = 0
+        tlb_count = 0
+        scanned_sets = 0
+        for set_index in range(0, self.num_sets, step):
+            scanned_sets += 1
+            way_tag = self._way_tag[set_index]
+            way_kind = self._way_kind[set_index]
+            for way in range(self.ways):
+                if way_tag[way] != _INVALID:
+                    if way_kind[way]:
+                        tlb_count += 1
+                    else:
+                        data_count += 1
+        total = scanned_sets * self.ways
+        return {
+            LineKind.DATA: data_count / total,
+            LineKind.TLB: tlb_count / total,
+        }
+
+    def reset_stats(self) -> None:
+        self.stats = CacheStats()
+
+    def __repr__(self) -> str:
+        return (
+            f"Cache({self.name}, {self.size_bytes // 1024}KB, "
+            f"{self.ways}-way, {self.num_sets} sets)"
+        )

@@ -1,0 +1,65 @@
+"""Miss-status holding register (MSHR) overlap model.
+
+The paper's key asymmetry (Section 2.2): *data* misses overlap with other
+work through MSHRs, while *address-translation* misses are blocking — the
+pipeline stalls until the translation resolves.  A cycle-accurate MSHR file
+would require a global event queue; instead we model the first-order
+effect: the effective stall charged for a data miss is its raw latency
+divided by the achievable memory-level parallelism.
+
+Achieved MLP scales with how densely misses occur: when nearly every
+access misses (a gups-like stream), many are in flight together and each
+contributes ``latency / cap``; when misses are rare, there is nothing to
+overlap with and each costs its full latency.  We track an exponentially
+weighted miss rate and interpolate between those endpoints, capping at
+both the MSHR entry count and the workload's inherent MLP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class MshrModel:
+    """Miss-density-driven MLP estimator bounded by MSHR capacity."""
+
+    entries: int = 10
+    workload_mlp: float = 4.0
+    decay: float = 0.02
+    _miss_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.entries < 1:
+            raise ValueError("MSHR file needs at least one entry")
+        if self.workload_mlp < 1.0:
+            raise ValueError("workload MLP cannot be below 1")
+
+    @property
+    def mlp_cap(self) -> float:
+        return min(float(self.entries), self.workload_mlp)
+
+    @property
+    def mlp(self) -> float:
+        """Currently achieved memory-level parallelism estimate."""
+        return 1.0 + (self.mlp_cap - 1.0) * self._miss_rate
+
+    @property
+    def miss_rate(self) -> float:
+        return self._miss_rate
+
+    def observe(self, was_miss: bool) -> None:
+        """Fold one data access outcome into the miss-density estimate."""
+        target = 1.0 if was_miss else 0.0
+        self._miss_rate += self.decay * (target - self._miss_rate)
+
+    def data_stall(self, raw_latency: float) -> float:
+        """Effective pipeline stall for a data miss of ``raw_latency`` cycles."""
+        return raw_latency / self.mlp
+
+    def translation_stall(self, raw_latency: float) -> float:
+        """Translation misses block the pipeline: charged in full."""
+        return raw_latency
+
+    def reset(self) -> None:
+        self._miss_rate = 0.0

@@ -1,0 +1,238 @@
+"""Cache replacement policies with partition-aware victim selection.
+
+CSALT's partitioning needs two things from the replacement policy beyond
+ordinary victim selection (paper Sections 3.1 and 3.4):
+
+* **victim restricted to a way range** — on a fill, the victim is the least
+  recently used line *within the partition that owns the incoming line's
+  type* (data ways ``0..N-1``, TLB ways ``N..K-1``);
+* **an (estimated) LRU stack position** for every access, which feeds the
+  Mattson stack-distance profilers.  True-LRU yields the exact position;
+  NRU and binary-tree pseudo-LRU yield the estimates of Kedzierski et al.
+  that the paper adopts in Section 3.4.
+
+Every policy keeps one state object per cache set; the cache owns the
+mapping from set index to state.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, List
+
+
+class ReplacementPolicy(ABC):
+    """Recency bookkeeping for one cache, parameterized by associativity."""
+
+    def __init__(self, ways: int):
+        if ways < 1:
+            raise ValueError(f"associativity must be positive, got {ways}")
+        self.ways = ways
+
+    @abstractmethod
+    def new_set_state(self) -> object:
+        """Return fresh per-set recency state (all ways least-recent)."""
+
+    @abstractmethod
+    def touch(self, state: object, way: int) -> None:
+        """Record an access (hit or fill) to ``way``."""
+
+    @abstractmethod
+    def victim(self, state: object, candidates: Iterable[int]) -> int:
+        """Return the least-recently-used way among ``candidates``."""
+
+    @abstractmethod
+    def stack_position(self, state: object, way: int) -> int:
+        """Estimated LRU-stack position of ``way`` (0 = MRU, ways-1 = LRU)."""
+
+    def insert(self, state: object, way: int, at_mru: bool = True) -> None:
+        """Place a filled ``way`` at the MRU (default) or LRU position.
+
+        The LRU variant implements BIP-style insertion for the DIP
+        comparison scheme; policies without a meaningful LRU insertion
+        point treat it as a plain touch.
+        """
+        self.touch(state, way)
+
+
+class TrueLRU(ReplacementPolicy):
+    """Exact least-recently-used ordering.
+
+    Per-set state is a list of way indices ordered most-recent first, so
+    ``state.index(way)`` *is* the Mattson stack position.
+    """
+
+    def new_set_state(self) -> List[int]:
+        return list(range(self.ways))
+
+    def touch(self, state: List[int], way: int) -> None:
+        state.remove(way)
+        state.insert(0, way)
+
+    def victim(self, state: List[int], candidates: Iterable[int]) -> int:
+        # `candidates` is typically a range; `in` is O(1) for ranges.
+        for way in reversed(state):
+            if way in candidates:
+                return way
+        raise ValueError("candidates contain no valid way index")
+
+    def stack_position(self, state: List[int], way: int) -> int:
+        return state.index(way)
+
+    def insert(self, state: List[int], way: int, at_mru: bool = True) -> None:
+        state.remove(way)
+        if at_mru:
+            state.insert(0, way)
+        else:
+            state.append(way)
+
+
+class NRU(ReplacementPolicy):
+    """Not-recently-used: one reference bit per way.
+
+    Victim is the first candidate whose bit is clear; if none is clear in
+    the candidate range, all candidate bits are reset first (the standard
+    NRU epoch reset, scoped to the partition so one partition's resets do
+    not disturb the other's bits).
+
+    Stack positions are estimated as in Kedzierski et al.: recently-used
+    lines (bit set) occupy the upper half of the recency stack and
+    not-recently-used lines the lower half; each group is placed at its
+    midpoint.
+    """
+
+    def new_set_state(self) -> List[bool]:
+        return [False] * self.ways
+
+    def touch(self, state: List[bool], way: int) -> None:
+        state[way] = True
+        if all(state):
+            for i in range(self.ways):
+                if i != way:
+                    state[i] = False
+
+    def victim(self, state: List[bool], candidates: Iterable[int]) -> int:
+        ordered = list(candidates)
+        if not ordered:
+            raise ValueError("victim requested from an empty partition")
+        for way in ordered:
+            if not state[way]:
+                return way
+        for way in ordered:
+            state[way] = False
+        return ordered[0]
+
+    def stack_position(self, state: List[bool], way: int) -> int:
+        referenced = sum(state)
+        if state[way]:
+            return max(0, referenced // 2 - (1 if way == 0 else 0)) % self.ways
+        return min(self.ways - 1, referenced + (self.ways - referenced) // 2)
+
+
+class TreePLRU(ReplacementPolicy):
+    """Binary-tree pseudo-LRU (associativity must be a power of two).
+
+    Per-set state is the flat array of ``ways - 1`` tree bits; bit value 0
+    means "left subtree is older".  Stack positions use the identifier
+    estimate from the paper's Section 3.4: each tree level on the path to a
+    way contributes half the remaining stack range when it points *toward*
+    the way (the way looks old at that level).
+    """
+
+    def __init__(self, ways: int):
+        super().__init__(ways)
+        if ways & (ways - 1):
+            raise ValueError(f"tree PLRU needs power-of-two ways, got {ways}")
+        self.levels = ways.bit_length() - 1
+
+    def new_set_state(self) -> List[int]:
+        return [0] * (self.ways - 1)
+
+    def _path(self, way: int):
+        """Yield (node_index, went_right) pairs from root to ``way``."""
+        node = 0
+        for level in range(self.levels, 0, -1):
+            went_right = (way >> (level - 1)) & 1
+            yield node, went_right
+            node = 2 * node + 1 + went_right
+
+    def touch(self, state: List[int], way: int) -> None:
+        for node, went_right in self._path(way):
+            # Point the bit away from the accessed way.
+            state[node] = 0 if went_right else 1
+
+    def victim(self, state: List[int], candidates: Iterable[int]) -> int:
+        allowed = set(candidates)
+        if not allowed:
+            raise ValueError("victim requested from an empty partition")
+        best_way = None
+        best_age = -1
+        for way in allowed:
+            age = self.stack_position(state, way)
+            if age > best_age:
+                best_age = age
+                best_way = way
+        return best_way
+
+    def stack_position(self, state: List[int], way: int) -> int:
+        position = 0
+        span = self.ways
+        for node, went_right in self._path(way):
+            span //= 2
+            if state[node] == went_right:
+                # Tree points toward this way: it is in the older half.
+                position += span
+        return min(position, self.ways - 1)
+
+
+class Rrip(ReplacementPolicy):
+    """Static RRIP (Jaleel et al., cited by the paper's Section 6).
+
+    Per-way 2-bit re-reference prediction values (RRPV): 0 = re-reference
+    imminent, 3 = distant.  Hits promote to 0; fills insert at 2 (SRRIP's
+    "long" interval) or 3 for BIP-style distant insertion; the victim is
+    the first candidate at RRPV 3, aging all candidates when none is.
+
+    Stack positions are estimated by RRPV ordering (ways at lower RRPV
+    are younger), the same spirit as the paper's Section 3.4 estimates.
+    """
+
+    MAX_RRPV = 3
+    INSERT_RRPV = 2
+
+    def new_set_state(self) -> List[int]:
+        return [self.MAX_RRPV] * self.ways
+
+    def touch(self, state: List[int], way: int) -> None:
+        state[way] = 0
+
+    def victim(self, state: List[int], candidates: Iterable[int]) -> int:
+        ordered = list(candidates)
+        if not ordered:
+            raise ValueError("victim requested from an empty partition")
+        while True:
+            for way in ordered:
+                if state[way] >= self.MAX_RRPV:
+                    return way
+            for way in ordered:
+                state[way] += 1
+
+    def stack_position(self, state: List[int], way: int) -> int:
+        rrpv = state[way]
+        younger = sum(1 for value in state if value < rrpv)
+        peers = sum(1 for value in state if value == rrpv) - 1
+        return min(self.ways - 1, younger + peers // 2)
+
+    def insert(self, state: List[int], way: int, at_mru: bool = True) -> None:
+        state[way] = self.INSERT_RRPV if at_mru else self.MAX_RRPV
+
+
+def make_policy(name: str, ways: int) -> ReplacementPolicy:
+    """Build a policy by name: ``lru``, ``nru``, ``plru`` or ``rrip``."""
+    table = {"lru": TrueLRU, "nru": NRU, "plru": TreePLRU, "rrip": Rrip}
+    try:
+        return table[name.lower()](ways)
+    except KeyError:
+        raise ValueError(
+            f"unknown replacement policy {name!r}; expected one of {sorted(table)}"
+        ) from None

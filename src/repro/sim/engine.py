@@ -1,0 +1,118 @@
+"""Simulation driver: wires workloads to a System and runs the clock.
+
+``run_simulation`` is the main entry point of the library: it builds the
+machine for a :class:`~repro.sim.config.SystemConfig`, instantiates one
+context per (core, VM) from the given workloads, and interleaves the
+cores round-robin (a few accesses per core per turn) so that sharing in
+the L3, POM-TLB and DRAM is modeled realistically.  Per-core context
+switches happen on the configured cycle quantum.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.mem.address import Asid
+from repro.sim.config import SystemConfig
+from repro.sim.scheduler import Context, ContextScheduler
+from repro.sim.stats import SimulationResult
+from repro.sim.system import System
+from repro.workloads.base import Workload
+
+#: Accesses each core executes before the round-robin moves on.
+_CORE_BATCH = 4
+
+
+def build_contexts(
+    system: System, workloads: List[Workload], seed: int = 0
+) -> List[List[Context]]:
+    """One context per (core, VM): thread ``core`` of each VM's program."""
+    config = system.config
+    per_core: List[List[Context]] = []
+    for core_id in range(config.cores):
+        contexts = []
+        for vm_id, workload in enumerate(workloads):
+            contexts.append(
+                Context(
+                    asid=Asid(vm_id=vm_id, process_id=0),
+                    vm=system.vms[vm_id],
+                    stream=workload.thread_stream(
+                        core_id, config.cores, seed + 97 * vm_id
+                    ),
+                    huge_va_limit=workload.huge_va_limit,
+                    native=not config.virtualized,
+                    mlp=getattr(workload, "mlp", 4.0),
+                )
+            )
+        per_core.append(contexts)
+    return per_core
+
+
+def run_simulation(
+    config: SystemConfig,
+    workloads: List[Workload],
+    total_accesses: int = 160_000,
+    seed: int = 0,
+    occupancy_samples: int = 8,
+    workload_name: Optional[str] = None,
+    warmup_fraction: float = 0.25,
+    system_setup: Optional[Callable[[System], None]] = None,
+) -> SimulationResult:
+    """Simulate ``total_accesses`` memory references across all cores.
+
+    The first ``warmup_fraction`` of the accesses warms caches, TLBs and
+    page tables; statistics are reset afterwards so results reflect steady
+    state rather than compulsory misses (the paper amortizes these over
+    10 B-instruction runs).
+
+    ``system_setup`` is called on the freshly built :class:`System` before
+    any access runs — the hook ablation studies use to disable or alter
+    individual structures.
+    """
+    if len(workloads) != config.num_vms:
+        raise ValueError(
+            f"config expects {config.num_vms} VM workloads, got {len(workloads)}"
+        )
+    if total_accesses < 1:
+        raise ValueError("total_accesses must be positive")
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise ValueError("warmup_fraction must be in [0, 1)")
+    system = System(config)
+    if system_setup is not None:
+        system_setup(system)
+    scheduler = ContextScheduler(
+        build_contexts(system, workloads, seed), config.switch_interval_cycles
+    )
+    sample_every = max(_CORE_BATCH * config.cores, total_accesses // max(
+        1, occupancy_samples
+    ))
+    executed = 0
+    next_sample = sample_every
+    warmup_end = int(total_accesses * warmup_fraction)
+    warm = warmup_end > 0
+    while executed < total_accesses:
+        for core_id in range(config.cores):
+            context = scheduler.current(core_id)
+            core = system.cores[core_id]
+            core.mshr.workload_mlp = context.mlp
+            stream = context.stream
+            access = system.access
+            ensure = context.ensure_mapped
+            asid = context.asid
+            for _ in range(_CORE_BATCH):
+                virtual_address, is_write = next(stream)
+                ensure(virtual_address)
+                access(core_id, asid, virtual_address, is_write)
+            scheduler.maybe_switch(core_id, core.stats.cycles)
+        executed += _CORE_BATCH * config.cores
+        if warm and executed >= warmup_end:
+            system.reset_stats()
+            warm = False
+        if executed >= next_sample:
+            system.sample_occupancy()
+            next_sample += sample_every
+    name = workload_name or "+".join(w.name for w in workloads)
+    result = system.result(name)
+    result.extra["context_switches"] = float(scheduler.switches)
+    result.extra["seed"] = float(seed)
+    return result

@@ -1,0 +1,162 @@
+"""Simulation statistics: per-core counters and whole-run results.
+
+The paper's metrics, and where they come from here:
+
+* **IPC / performance improvement** — geometric mean of per-core IPC
+  (paper Section 4.2), compared across schemes;
+* **L2 TLB MPKI** — L2 TLB misses per kilo-instruction (Figure 1);
+* **page-walk cycles per L2 TLB miss** — walker latency over misses
+  (Table 1);
+* **fraction of page walks eliminated** — 1 - walks / L2-TLB misses
+  (Figure 8);
+* **L2/L3 data-cache MPKI** — demand misses per kilo-instruction
+  (Figures 10-11);
+* **TLB occupancy of the caches** — periodic occupancy scans (Figure 3);
+* **partition timeline** — controller decisions over time (Figure 9).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass
+class CoreStats:
+    """One core's execution counters."""
+
+    instructions: int = 0
+    cycles: float = 0.0
+    memory_accesses: int = 0
+    translation_stall_cycles: float = 0.0
+    data_stall_cycles: float = 0.0
+    l1_tlb_misses: int = 0
+    l2_tlb_misses: int = 0
+    page_walks: int = 0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def l2_tlb_mpki(self) -> float:
+        if not self.instructions:
+            return 0.0
+        return 1000.0 * self.l2_tlb_misses / self.instructions
+
+
+def geometric_mean(values: List[float]) -> float:
+    """Geometric mean, tolerant of empty input (returns 0)."""
+    positive = [v for v in values if v > 0]
+    if not positive:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in positive) / len(positive))
+
+
+@dataclass
+class OccupancySample:
+    """One periodic scan of cache contents (Figure 3 raw data)."""
+
+    access_count: int
+    l2_tlb_fraction: float
+    l3_tlb_fraction: float
+
+
+@dataclass
+class SimulationResult:
+    """Everything the experiment harness reads out of one run."""
+
+    scheme: str
+    workload: str
+    per_core: List[CoreStats]
+    l2_cache_misses: int
+    l2_cache_accesses: int
+    l3_cache_misses: int
+    l3_cache_accesses: int
+    l3_data_hit_rate: float
+    pom_hits: int
+    pom_misses: int
+    walk_mean_cycles: float
+    walk_count: int
+    occupancy_samples: List[OccupancySample] = field(default_factory=list)
+    l2_partition_timeline: List[Tuple[int, float]] = field(default_factory=list)
+    l3_partition_timeline: List[Tuple[int, float]] = field(default_factory=list)
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def instructions(self) -> int:
+        return sum(core.instructions for core in self.per_core)
+
+    @property
+    def ipc(self) -> float:
+        """Paper metric: geometric mean of per-core IPC."""
+        return geometric_mean([core.ipc for core in self.per_core])
+
+    @property
+    def l2_tlb_misses(self) -> int:
+        return sum(core.l2_tlb_misses for core in self.per_core)
+
+    @property
+    def l2_tlb_mpki(self) -> float:
+        if not self.instructions:
+            return 0.0
+        return 1000.0 * self.l2_tlb_misses / self.instructions
+
+    @property
+    def l2_cache_mpki(self) -> float:
+        if not self.instructions:
+            return 0.0
+        return 1000.0 * self.l2_cache_misses / self.instructions
+
+    @property
+    def l3_cache_mpki(self) -> float:
+        if not self.instructions:
+            return 0.0
+        return 1000.0 * self.l3_cache_misses / self.instructions
+
+    @property
+    def page_walks(self) -> int:
+        return sum(core.page_walks for core in self.per_core)
+
+    @property
+    def walks_eliminated_fraction(self) -> float:
+        """Fraction of would-be page walks absorbed by the L3 TLB (Fig. 8)."""
+        misses = self.l2_tlb_misses
+        if not misses:
+            return 0.0
+        return 1.0 - self.page_walks / misses
+
+    @property
+    def pom_hit_rate(self) -> float:
+        total = self.pom_hits + self.pom_misses
+        return self.pom_hits / total if total else 0.0
+
+    @property
+    def walk_cycles_per_l2_miss(self) -> float:
+        """Table 1 metric: average walk cost charged per L2 TLB miss."""
+        if not self.l2_tlb_misses:
+            return 0.0
+        return self.walk_mean_cycles * self.walk_count / self.l2_tlb_misses
+
+    @property
+    def mean_l2_tlb_occupancy(self) -> float:
+        if not self.occupancy_samples:
+            return 0.0
+        return sum(s.l2_tlb_fraction for s in self.occupancy_samples) / len(
+            self.occupancy_samples
+        )
+
+    @property
+    def mean_l3_tlb_occupancy(self) -> float:
+        if not self.occupancy_samples:
+            return 0.0
+        return sum(s.l3_tlb_fraction for s in self.occupancy_samples) / len(
+            self.occupancy_samples
+        )
+
+    def speedup_over(self, baseline: "SimulationResult") -> float:
+        if baseline.ipc == 0:
+            return 0.0
+        return self.ipc / baseline.ipc

@@ -1,0 +1,666 @@
+"""Full-system model: cores, TLB hierarchy, caches, walkers, DRAM.
+
+This implements the paper's Figure 4 system and Figure 6 datapath:
+
+* per core — split L1 TLBs, unified L2 TLB, L1 data cache, private L2
+  data cache (with optional CSALT partition controller), a page walker
+  with PSC + nested TLB, and an MSHR overlap model;
+* shared — 16-way L3 data cache (optionally partitioned), the POM-TLB in
+  die-stacked DRAM, software TSBs for the TSB baseline, and the two DRAM
+  channels.
+
+The timing model is latency-composition: each memory reference accumulates
+the latencies of the levels it traverses.  Translation latency beyond the
+L1 TLB is charged in full (translation is a blocking, pipeline-flushing
+event — paper Section 4.2), while data-miss latency is discounted by the
+MSHR model's achieved memory-level parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.criticality import CriticalityEstimator, CriticalityInputs
+from repro.core.partitioning import PartitionController, unit_weights
+from repro.core.schemes import PartitionMode
+from repro.mem.address import Asid, PAGE_4K_BITS, PAGE_2M_BITS, line_address
+from repro.mem.cache import Cache, LineKind
+from repro.mem.dram import DDR4_2133, DIE_STACKED, DramChannel
+from repro.mem.mshr import MshrModel
+from repro.sim.config import SystemConfig
+from repro.sim.stats import CoreStats, OccupancySample, SimulationResult
+from repro.tlb.pom_tlb import PageSizePredictor, PomTlb
+from repro.tlb.prefetch import SequentialTlbPrefetcher
+from repro.tlb.tlb import L1TlbPair, Tlb, TlbEntry
+from repro.tlb.tsb import TSB_TRAP_CYCLES, Tsb
+from repro.vm.physical_memory import HostPhysicalMemory
+from repro.vm.walker import PageWalker, VirtualMachine
+
+#: Cold-start page-walk estimate used by the criticality estimator before
+#: any walk has completed.
+_DEFAULT_WALK_CYCLES = 500.0
+
+
+@dataclass
+class CoreState:
+    """Private state of one core."""
+
+    core_id: int
+    l1_tlb: L1TlbPair
+    l2_tlb: Tlb
+    l1d: Cache
+    l2: Cache
+    walker: PageWalker
+    mshr: MshrModel
+    stats: CoreStats = field(default_factory=CoreStats)
+    l2_controller: Optional[PartitionController] = None
+    prefetcher: Optional[SequentialTlbPrefetcher] = None
+
+
+class System:
+    """The simulated 8-core machine, configured by :class:`SystemConfig`."""
+
+    def __init__(self, config: SystemConfig):
+        self.config = config
+        self.scheme = config.scheme
+        self.host_memory = HostPhysicalMemory(
+            num_vms=config.num_vms,
+            vm_bytes=config.vm_bytes,
+            pom_tlb_bytes=config.pom_tlb_bytes,
+        )
+        self.vms = [
+            VirtualMachine(
+                vm_id,
+                self.host_memory,
+                native=not config.virtualized,
+                levels=config.page_table_levels,
+            )
+            for vm_id in range(config.num_vms)
+        ]
+        self.ddr = DramChannel(DDR4_2133)
+        self.die_stacked = DramChannel(DIE_STACKED)
+
+        dip = self.scheme.uses_dip
+        self.l3 = Cache(
+            "l3",
+            config.l3.size_bytes,
+            config.l3.ways,
+            config.l3.latency,
+            policy=config.replacement,
+            dip=dip,
+        )
+        self.pom: Optional[PomTlb] = None
+        if self.scheme.uses_pom_tlb:
+            self.pom = PomTlb(
+                base_address=self.host_memory.pom_tlb_base,
+                size_bytes=config.pom_tlb_bytes,
+            )
+        self._prefetch_enabled = config.tlb_prefetch and self.pom is not None
+        self._prefetched = set()
+        self._tsb_predictor = PageSizePredictor()
+        self._guest_tsbs: Dict[Tuple[int, int], Tsb] = {}
+        self._host_tsbs: Dict[int, Tsb] = {}
+
+        self.cores: List[CoreState] = []
+        for core_id in range(config.cores):
+            self.cores.append(self._build_core(core_id))
+
+        self.l3_controller = self._build_controller(self.l3, "l3")
+        self._apply_static_partition()
+        self.occupancy_samples: List[OccupancySample] = []
+        self._total_accesses = 0
+        self._last_walk_latency = 0
+        # Which level served TLB-kind references (probe locality analysis).
+        self.tlb_ref_levels = {"l2": 0, "l3": 0, "dram": 0}
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _build_core(self, core_id: int) -> CoreState:
+        cfg = self.config
+        l1_tlb = L1TlbPair(
+            entries_4k=cfg.tlb.l1_4k_entries,
+            entries_2m=cfg.tlb.l1_2m_entries,
+            ways=cfg.tlb.l1_ways,
+            latency=cfg.tlb.l1_latency,
+        )
+        l2_tlb = Tlb(
+            f"l2tlb-core{core_id}",
+            cfg.tlb.l2_entries,
+            cfg.tlb.l2_ways,
+            cfg.tlb.l2_latency,
+            page_bits_supported=(PAGE_4K_BITS, PAGE_2M_BITS),
+        )
+        l1d = Cache(
+            f"l1d-core{core_id}", cfg.l1d.size_bytes, cfg.l1d.ways, cfg.l1d.latency
+        )
+        l2 = Cache(
+            f"l2-core{core_id}",
+            cfg.l2.size_bytes,
+            cfg.l2.ways,
+            cfg.l2.latency,
+            policy=cfg.replacement,
+            dip=self.scheme.uses_dip,
+        )
+        core = CoreState(
+            core_id=core_id,
+            l1_tlb=l1_tlb,
+            l2_tlb=l2_tlb,
+            l1d=l1d,
+            l2=l2,
+            walker=None,  # set below: the accessor closes over `core`
+            mshr=MshrModel(entries=cfg.mshr_entries, workload_mlp=cfg.workload_mlp),
+        )
+        core.walker = PageWalker(
+            accessor=lambda addr, kind, is_write, _core=core: self._mem_from_l2(
+                _core, addr, kind, is_write
+            ),
+            psc_config=cfg.psc,
+            levels=cfg.page_table_levels,
+        )
+        core.l2_controller = self._build_controller(l2, "l2")
+        if self._prefetch_enabled:
+            core.prefetcher = SequentialTlbPrefetcher()
+        return core
+
+    def _build_controller(
+        self, cache: Cache, level: str
+    ) -> Optional[PartitionController]:
+        mode = self.scheme.partition_mode
+        if mode not in (PartitionMode.DYNAMIC, PartitionMode.CRITICALITY):
+            return None
+        if mode is PartitionMode.CRITICALITY:
+            estimator = CriticalityEstimator(
+                cache_latency=cache.latency,
+                dynamic_inputs=(
+                    self._l2_criticality_inputs
+                    if level == "l2"
+                    else self._l3_criticality_inputs
+                ),
+            )
+            weight_provider = estimator.weights
+        else:
+            weight_provider = unit_weights
+        return PartitionController(
+            cache,
+            epoch_accesses=self.config.epoch_accesses,
+            weight_provider=weight_provider,
+            sample_shift=self.config.sample_shift,
+            estimate_positions=self.config.estimate_positions,
+        )
+
+    def _apply_static_partition(self) -> None:
+        if self.scheme.partition_mode is not PartitionMode.STATIC:
+            return
+        for core in self.cores:
+            split = self.config.static_data_ways or core.l2.ways // 2
+            core.l2.set_partition(min(split, core.l2.ways - 1))
+        split = self.config.static_data_ways or self.l3.ways // 2
+        self.l3.set_partition(min(split, self.l3.ways - 1))
+
+    # ------------------------------------------------------------------
+    # Criticality counter snapshots (paper Section 3.2: read from PMCs)
+    # ------------------------------------------------------------------
+    def _walk_mean(self) -> float:
+        walks = sum(core.walker.stats.walks for core in self.cores)
+        if not walks:
+            return _DEFAULT_WALK_CYCLES
+        total = sum(core.walker.stats.total_latency for core in self.cores)
+        return total / walks
+
+    def _pom_hit_rate(self) -> float:
+        if self.pom is None or not self.pom.stats.accesses:
+            return 0.0
+        return self.pom.stats.hit_rate
+
+    def _l3_criticality_inputs(self) -> CriticalityInputs:
+        dram = self.ddr.average_latency()
+        return CriticalityInputs(
+            next_data_latency=dram,
+            tlb_downstream_latency=0.0,
+            pom_hit_rate=self._pom_hit_rate(),
+            pom_latency=self.die_stacked.average_latency(),
+            walk_latency=self._walk_mean(),
+        )
+
+    def _l2_criticality_inputs(self) -> CriticalityInputs:
+        stats = self.l3.stats
+        data_total = stats.data_hits + stats.data_misses
+        data_hit_rate = stats.data_hits / data_total if data_total else 0.5
+        tlb_total = stats.tlb_hits + stats.tlb_misses
+        tlb_hit_rate = stats.tlb_hits / tlb_total if tlb_total else 0.5
+        dram = self.ddr.average_latency()
+        l3_latency = self.l3.latency
+        tlb_miss_fraction = 1.0 - tlb_hit_rate
+        return CriticalityInputs(
+            next_data_latency=l3_latency + (1.0 - data_hit_rate) * dram,
+            tlb_downstream_latency=l3_latency,
+            pom_hit_rate=self._pom_hit_rate(),
+            pom_latency=tlb_miss_fraction * self.die_stacked.average_latency(),
+            walk_latency=tlb_miss_fraction * self._walk_mean(),
+        )
+
+    # ------------------------------------------------------------------
+    # Memory datapath
+    # ------------------------------------------------------------------
+    def _dram_access(self, address: int) -> int:
+        if self.host_memory.in_pom_tlb(address):
+            return self.die_stacked.access(address)
+        return self.ddr.access(address)
+
+    def _mem_from_l2(
+        self, core: CoreState, address: int, kind: LineKind, is_write: bool
+    ) -> int:
+        """A reference entering the core's L2 data cache (Figure 6 path)."""
+        line = line_address(address)
+        l2 = core.l2
+        latency = l2.latency
+        hit = l2.lookup(line, kind, is_write)
+        if core.l2_controller is not None:
+            set_index, tag = l2.index_of(line)
+            core.l2_controller.observe(kind, set_index, tag, hit)
+        if hit:
+            if kind is LineKind.TLB:
+                self.tlb_ref_levels["l2"] += 1
+            return latency
+        latency += self.l3.latency
+        l3_hit = self.l3.lookup(line, kind, False)
+        if self.l3_controller is not None:
+            set_index, tag = self.l3.index_of(line)
+            self.l3_controller.observe(kind, set_index, tag, l3_hit)
+        if kind is LineKind.TLB:
+            self.tlb_ref_levels["l3" if l3_hit else "dram"] += 1
+        if not l3_hit:
+            latency += self._dram_access(line)
+            # Dirty L3 victims drain to DRAM through the write buffer; no
+            # latency is charged on the demand path.
+            self.l3.fill(line, kind)
+        evicted = l2.fill(line, kind, dirty=is_write)
+        if evicted is not None and evicted.dirty:
+            self.l3.write_back(evicted.address, evicted.kind)
+        return latency
+
+    def _data_access(self, core: CoreState, address: int, is_write: bool) -> int:
+        """A demand data reference from the core (L1D first)."""
+        line = line_address(address)
+        l1d = core.l1d
+        if l1d.lookup(line, LineKind.DATA, is_write):
+            return l1d.latency
+        latency = l1d.latency + self._mem_from_l2(core, line, LineKind.DATA, False)
+        evicted = l1d.fill(line, LineKind.DATA, dirty=is_write)
+        if evicted is not None and evicted.dirty:
+            core.l2.write_back(evicted.address, evicted.kind)
+        return latency
+
+    # ------------------------------------------------------------------
+    # Translation datapath
+    # ------------------------------------------------------------------
+    def _walk(self, core: CoreState, asid: Asid, virtual_address: int) -> TlbEntry:
+        vm = self.vms[asid.vm_id]
+        core.stats.page_walks += 1
+        if vm.native:
+            result = core.walker.walk_native(
+                asid, vm.guest_table(asid.process_id), virtual_address
+            )
+        else:
+            result = core.walker.walk_virtualized(asid, vm, virtual_address)
+        self._last_walk_latency = result.latency
+        return TlbEntry(
+            frame_base=result.translation.frame_base,
+            page_bits=result.translation.page_bits,
+        )
+
+    def _translate_via_pom(
+        self, core: CoreState, asid: Asid, virtual_address: int
+    ) -> Tuple[int, TlbEntry]:
+        """POM-TLB path: probe (through the caches), walk on miss."""
+        pom = self.pom
+        latency = 0
+        probes = 0
+        entry = None
+        hit_bits = None
+        for page_bits in pom.lookup_order(asid):
+            set_addr = pom.set_address(asid, virtual_address, page_bits)
+            latency += self._mem_from_l2(core, set_addr, LineKind.TLB, False)
+            probes += 1
+            entry = pom.probe(asid, virtual_address, page_bits)
+            if entry is not None:
+                hit_bits = page_bits
+                break
+        pom.record_outcome(asid, entry is not None, hit_bits, probes)
+        if entry is not None:
+            if core.prefetcher is not None:
+                self._maybe_prefetch(core, asid, virtual_address, entry.page_bits)
+            return latency, entry
+        entry = self._walk(core, asid, virtual_address)
+        latency += self._last_walk_latency
+        pom.insert(asid, virtual_address, entry)
+        # The fill dirties the set line in the cache hierarchy.
+        fill_addr = pom.set_address(asid, virtual_address, entry.page_bits)
+        latency += self._mem_from_l2(core, fill_addr, LineKind.TLB, True)
+        if core.prefetcher is not None:
+            self._maybe_prefetch(core, asid, virtual_address, entry.page_bits)
+        return latency, entry
+
+    def _maybe_prefetch(
+        self, core: CoreState, asid: Asid, virtual_address: int, page_bits: int
+    ) -> None:
+        """Sequential TLB prefetch off the critical path.
+
+        The probe's cache traffic is modeled (it can pollute), but no
+        stall is charged to the demanding instruction.
+        """
+        prefetcher = core.prefetcher
+        vpn = virtual_address >> page_bits
+        if not prefetcher.observe_miss(asid, vpn):
+            return
+        target = (vpn + prefetcher.stride) << page_bits
+        key = (core.core_id, asid, vpn + prefetcher.stride, page_bits)
+        if core.l2_tlb.probe(asid, target) is not None:
+            return
+        vm = self.vms[asid.vm_id]
+        if vm.guest_table(asid.process_id).lookup(target) is None:
+            return  # never walk speculatively for an unmapped page
+        set_addr = self.pom.set_address(asid, target, page_bits)
+        self._mem_from_l2(core, set_addr, LineKind.TLB, False)
+        entry = self.pom.probe(asid, target, page_bits)
+        if entry is not None:
+            core.l2_tlb.insert(asid, target, entry)
+            self._prefetched.add(key)
+
+    # -- TSB baseline ---------------------------------------------------
+    def _guest_tsb(self, vm_id: int, process_id: int) -> Tsb:
+        key = (vm_id, process_id)
+        tsb = self._guest_tsbs.get(key)
+        if tsb is None:
+            vm = self.vms[vm_id]
+            frames = (self.config.tsb_entries * 16) // 4096
+            base_frame = vm._guest_allocator.alloc(contiguous=frames)
+            tsb = Tsb(
+                f"guest-tsb-{vm_id}.{process_id}",
+                base_address=base_frame << PAGE_4K_BITS,
+                num_entries=self.config.tsb_entries,
+            )
+            self._guest_tsbs[key] = tsb
+        return tsb
+
+    def _host_tsb(self, vm_id: int) -> Tsb:
+        tsb = self._host_tsbs.get(vm_id)
+        if tsb is None:
+            vm = self.vms[vm_id]
+            frames = (self.config.tsb_entries * 16) // 4096
+            base_frame = vm._host_allocator.alloc(contiguous=frames)
+            tsb = Tsb(
+                f"host-tsb-{vm_id}",
+                base_address=base_frame << PAGE_4K_BITS,
+                num_entries=self.config.tsb_entries,
+            )
+            self._host_tsbs[vm_id] = tsb
+        return tsb
+
+    def _translate_via_tsb(
+        self, core: CoreState, asid: Asid, virtual_address: int
+    ) -> Tuple[int, TlbEntry]:
+        """TSB path (Section 5.2): trap, multi-probe, walk on miss.
+
+        Virtualized: the guest TSB (gVA -> gPA) lives in guest memory, so
+        the probe's own address needs a nested translation; a hit is then
+        followed by a host TSB probe (gPA -> hPA).  Native: one probe.
+        """
+        vm = self.vms[asid.vm_id]
+        latency = TSB_TRAP_CYCLES
+        predicted, other = (
+            (PAGE_2M_BITS, PAGE_4K_BITS)
+            if self._tsb_predictor.predict(asid) == PAGE_2M_BITS
+            else (PAGE_4K_BITS, PAGE_2M_BITS)
+        )
+        if vm.native:
+            tsb = self._host_tsb(asid.vm_id)
+            entry = None
+            for page_bits in (predicted, other):
+                slot = tsb.slot_address(asid, virtual_address, page_bits)
+                latency += self._mem_from_l2(core, slot, LineKind.TLB, False)
+                entry = tsb.probe(asid, virtual_address, page_bits)
+                if entry is not None:
+                    break
+            if entry is None:
+                entry = self._walk(core, asid, virtual_address)
+                latency += self._last_walk_latency + TSB_TRAP_CYCLES
+                tsb.insert(asid, virtual_address, entry)
+            self._tsb_predictor.update(asid, entry.page_bits)
+            return latency, entry
+
+        guest_tsb = self._guest_tsb(asid.vm_id, asid.process_id)
+        guest_entry = None
+        for page_bits in (predicted, other):
+            slot_gpa = guest_tsb.slot_address(asid, virtual_address, page_bits)
+            nested_latency, _refs, slot_hpa = core.walker.translate_guest_physical(
+                vm, slot_gpa
+            )
+            latency += nested_latency
+            latency += self._mem_from_l2(core, slot_hpa, LineKind.TLB, False)
+            guest_entry = guest_tsb.probe(asid, virtual_address, page_bits)
+            if guest_entry is not None:
+                break
+        host_entry = None
+        if guest_entry is not None:
+            # guest_entry.frame_base is a *guest* frame; resolve via host TSB.
+            host_tsb = self._host_tsb(asid.vm_id)
+            guest_physical = guest_entry.frame_base << PAGE_4K_BITS
+            slot = host_tsb.slot_address(
+                Asid(asid.vm_id, 0), guest_physical, guest_entry.page_bits
+            )
+            latency += self._mem_from_l2(core, slot, LineKind.TLB, False)
+            host_entry = host_tsb.probe(
+                Asid(asid.vm_id, 0), guest_physical, guest_entry.page_bits
+            )
+        if host_entry is None:
+            entry = self._walk(core, asid, virtual_address)
+            latency += self._last_walk_latency + TSB_TRAP_CYCLES
+            guest_translation = vm.guest_table(asid.process_id).lookup(
+                virtual_address
+            )
+            guest_tsb.insert(
+                asid,
+                virtual_address,
+                TlbEntry(guest_translation.frame_base, guest_translation.page_bits),
+            )
+            self._host_tsb(asid.vm_id).insert(
+                Asid(asid.vm_id, 0),
+                guest_translation.frame_base << PAGE_4K_BITS,
+                entry,
+            )
+        else:
+            entry = host_entry
+        self._tsb_predictor.update(asid, entry.page_bits)
+        return latency, entry
+
+    def translate_beyond_l1(
+        self, core: CoreState, asid: Asid, virtual_address: int
+    ) -> Tuple[int, TlbEntry]:
+        """Service an L1 TLB miss; returns (stall cycles, translation)."""
+        latency = core.l2_tlb.latency
+        entry = core.l2_tlb.lookup(asid, virtual_address)
+        if entry is not None:
+            if core.prefetcher is not None:
+                key = (
+                    core.core_id, asid,
+                    virtual_address >> entry.page_bits, entry.page_bits,
+                )
+                if key in self._prefetched:
+                    self._prefetched.discard(key)
+                    core.prefetcher.credit_hit()
+            core.l1_tlb.insert(asid, virtual_address, entry)
+            return latency, entry
+        core.stats.l2_tlb_misses += 1
+        if self.scheme.uses_pom_tlb:
+            extra, entry = self._translate_via_pom(core, asid, virtual_address)
+        elif self.scheme.uses_tsb:
+            extra, entry = self._translate_via_tsb(core, asid, virtual_address)
+        else:
+            entry = self._walk(core, asid, virtual_address)
+            extra = self._last_walk_latency
+        latency += extra
+        core.l2_tlb.insert(asid, virtual_address, entry)
+        core.l1_tlb.insert(asid, virtual_address, entry)
+        return latency, entry
+
+    # ------------------------------------------------------------------
+    # Per-access execution (the CPU timing model)
+    # ------------------------------------------------------------------
+    def access(
+        self, core_id: int, asid: Asid, virtual_address: int, is_write: bool
+    ) -> None:
+        """Run one memory instruction (plus its non-memory companions)."""
+        core = self.cores[core_id]
+        stats = core.stats
+        cfg = self.config
+        instructions = 1 + cfg.nonmem_per_mem
+        cycles = instructions * cfg.base_cpi
+
+        entry = core.l1_tlb.lookup(asid, virtual_address)
+        if entry is None:
+            stats.l1_tlb_misses += 1
+            stall, entry = self.translate_beyond_l1(core, asid, virtual_address)
+            # Translation is blocking: the full latency stalls the core.
+            cycles += stall
+            stats.translation_stall_cycles += stall
+
+        page_mask = (1 << entry.page_bits) - 1
+        physical = (entry.frame_base << PAGE_4K_BITS) + (virtual_address & page_mask)
+        data_latency = self._data_access(core, physical, is_write)
+        miss_latency = data_latency - core.l1d.latency
+        core.mshr.observe(miss_latency > 0)
+        if miss_latency > 0:
+            stall = core.mshr.data_stall(miss_latency)
+            cycles += stall
+            stats.data_stall_cycles += stall
+
+        stats.cycles += cycles
+        stats.instructions += instructions
+        stats.memory_accesses += 1
+        self._total_accesses += 1
+
+    # ------------------------------------------------------------------
+    # TLB shootdown (page migration / unmap support)
+    # ------------------------------------------------------------------
+    #: IPI + INVLPG handling cost charged to every core on a shootdown.
+    SHOOTDOWN_CYCLES_PER_CORE = 100
+
+    def shootdown_page(self, asid: Asid, virtual_address: int) -> int:
+        """Invalidate one page's translation everywhere (inter-core IPI).
+
+        Drops matching entries from every core's L1/L2 TLBs and from the
+        POM-TLB, and charges each core the IPI handling cost.  Returns the
+        total number of TLB entries dropped.
+        """
+        dropped = 0
+        for core in self.cores:
+            dropped += core.l1_tlb.invalidate_page(asid, virtual_address)
+            dropped += core.l2_tlb.invalidate_page(asid, virtual_address)
+            core.stats.cycles += self.SHOOTDOWN_CYCLES_PER_CORE
+        if self.pom is not None:
+            dropped += self.pom.invalidate(asid, virtual_address)
+        return dropped
+
+    def remap_page(self, asid: Asid, virtual_address: int) -> None:
+        """Migrate a guest page to a new frame and shoot down stale entries."""
+        vm = self.vms[asid.vm_id]
+        vm.remap_guest_page(asid.process_id, virtual_address)
+        self.shootdown_page(asid, virtual_address)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def reset_stats(self) -> None:
+        """Zero all counters, keeping microarchitectural state warm.
+
+        Called at the end of the engine's warmup phase so that measured
+        statistics reflect steady state rather than compulsory misses.
+        """
+        from repro.tlb.pom_tlb import PomTlbStats
+        from repro.vm.walker import WalkerStats
+
+        for core in self.cores:
+            core.stats = CoreStats()
+            core.l1_tlb.tlb_4k.reset_stats()
+            core.l1_tlb.tlb_2m.reset_stats()
+            core.l2_tlb.reset_stats()
+            core.l1d.reset_stats()
+            core.l2.reset_stats()
+            core.walker.stats = WalkerStats()
+        self.l3.reset_stats()
+        if self.pom is not None:
+            self.pom.stats = PomTlbStats()
+        for tsb in list(self._guest_tsbs.values()) + list(self._host_tsbs.values()):
+            tsb.stats = type(tsb.stats)()
+        self.ddr.reset_stats()
+        self.die_stacked.reset_stats()
+        self.occupancy_samples.clear()
+        self._total_accesses = 0
+        self.tlb_ref_levels = {"l2": 0, "l3": 0, "dram": 0}
+
+    def sample_occupancy(self) -> OccupancySample:
+        """Scan L2/L3 contents for the Figure 3 occupancy metric."""
+        l2_fraction = sum(
+            core.l2.occupancy_by_kind(sample_shift=2)[LineKind.TLB]
+            for core in self.cores
+        ) / len(self.cores)
+        l3_fraction = self.l3.occupancy_by_kind(sample_shift=3)[LineKind.TLB]
+        sample = OccupancySample(
+            access_count=self._total_accesses,
+            l2_tlb_fraction=l2_fraction,
+            l3_tlb_fraction=l3_fraction,
+        )
+        self.occupancy_samples.append(sample)
+        return sample
+
+    def result(self, workload_name: str = "") -> SimulationResult:
+        """Package the run's statistics."""
+        l2_misses = sum(core.l2.stats.misses for core in self.cores)
+        l2_accesses = sum(core.l2.stats.accesses for core in self.cores)
+        l3_stats = self.l3.stats
+        data_total = l3_stats.data_hits + l3_stats.data_misses
+        walk_count = sum(core.walker.stats.walks for core in self.cores)
+        walk_total = sum(core.walker.stats.total_latency for core in self.cores)
+        l2_timeline = []
+        if self.cores[0].l2_controller is not None:
+            l2_timeline = self.cores[0].l2_controller.tlb_fraction_timeline()
+        l3_timeline = []
+        if self.l3_controller is not None:
+            l3_timeline = self.l3_controller.tlb_fraction_timeline()
+        return SimulationResult(
+            scheme=self.scheme.value,
+            workload=workload_name,
+            per_core=[core.stats for core in self.cores],
+            l2_cache_misses=l2_misses,
+            l2_cache_accesses=l2_accesses,
+            l3_cache_misses=l3_stats.misses,
+            l3_cache_accesses=l3_stats.accesses,
+            l3_data_hit_rate=(
+                l3_stats.data_hits / data_total if data_total else 0.0
+            ),
+            pom_hits=self.pom.stats.hits if self.pom else 0,
+            pom_misses=self.pom.stats.misses if self.pom else 0,
+            walk_mean_cycles=walk_total / walk_count if walk_count else 0.0,
+            walk_count=walk_count,
+            occupancy_samples=list(self.occupancy_samples),
+            l2_partition_timeline=l2_timeline,
+            l3_partition_timeline=l3_timeline,
+            extra={
+                "ddr_accesses": float(self.ddr.stats.accesses),
+                "ddr_row_hit_rate": self.ddr.stats.row_hit_rate,
+                "die_stacked_accesses": float(self.die_stacked.stats.accesses),
+                "die_stacked_row_hit_rate": self.die_stacked.stats.row_hit_rate,
+                "tlb_refs_l2": float(self.tlb_ref_levels["l2"]),
+                "tlb_refs_l3": float(self.tlb_ref_levels["l3"]),
+                "tlb_refs_dram": float(self.tlb_ref_levels["dram"]),
+                "translation_stall": sum(
+                    core.stats.translation_stall_cycles for core in self.cores
+                ),
+                "data_stall": sum(
+                    core.stats.data_stall_cycles for core in self.cores
+                ),
+            },
+        )

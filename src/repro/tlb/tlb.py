@@ -1,0 +1,186 @@
+"""On-chip set-associative TLBs (L1 split by page size, L2 unified).
+
+Entries are tagged with the full :class:`~repro.mem.address.Asid`, so VM
+context switches do not flush them (the entries simply compete for
+capacity — the effect Figure 1 quantifies).  The unified L2 TLB holds both
+4 KB and 2 MB translations; a lookup probes one set per supported page
+size, as real unified TLBs do.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.mem.address import Asid, PAGE_4K_BITS, PAGE_2M_BITS
+
+
+@dataclass(frozen=True)
+class TlbEntry:
+    """A cached translation: virtual page -> host physical frame."""
+
+    frame_base: int
+    page_bits: int
+
+
+@dataclass
+class TlbStats:
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class Tlb:
+    """A set-associative, ASID-tagged TLB with LRU replacement.
+
+    ``page_bits_supported`` lists the page sizes this TLB holds; a unified
+    TLB passes both, a split L1 passes exactly one.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        entries: int,
+        ways: int,
+        latency: int,
+        page_bits_supported: Tuple[int, ...] = (PAGE_4K_BITS,),
+    ):
+        if entries % ways:
+            raise ValueError(f"{name}: {entries} entries not divisible by {ways} ways")
+        self.name = name
+        self.entries = entries
+        self.ways = ways
+        self.latency = latency
+        self.num_sets = entries // ways
+        self.page_bits_supported = tuple(page_bits_supported)
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.num_sets)]
+        self.stats = TlbStats()
+
+    def _set_index(self, vpn: int) -> int:
+        return vpn % self.num_sets
+
+    def lookup(self, asid: Asid, virtual_address: int) -> Optional[TlbEntry]:
+        """Probe all supported page sizes; LRU-promote on hit."""
+        for page_bits in self.page_bits_supported:
+            vpn = virtual_address >> page_bits
+            tlb_set = self._sets[self._set_index(vpn)]
+            key = (asid, vpn, page_bits)
+            entry = tlb_set.get(key)
+            if entry is not None:
+                tlb_set.move_to_end(key)
+                self.stats.hits += 1
+                return entry
+        self.stats.misses += 1
+        return None
+
+    def probe(self, asid: Asid, virtual_address: int) -> Optional[TlbEntry]:
+        """Presence check without statistics or recency update (used by
+        prefetchers and tests)."""
+        for page_bits in self.page_bits_supported:
+            vpn = virtual_address >> page_bits
+            entry = self._sets[self._set_index(vpn)].get((asid, vpn, page_bits))
+            if entry is not None:
+                return entry
+        return None
+
+    def insert(self, asid: Asid, virtual_address: int, entry: TlbEntry) -> None:
+        """Install a translation, evicting the set's LRU entry if full."""
+        if entry.page_bits not in self.page_bits_supported:
+            raise ValueError(
+                f"{self.name} does not hold 2**{entry.page_bits}-byte pages"
+            )
+        vpn = virtual_address >> entry.page_bits
+        tlb_set = self._sets[self._set_index(vpn)]
+        key = (asid, vpn, entry.page_bits)
+        if key in tlb_set:
+            tlb_set.move_to_end(key)
+            tlb_set[key] = entry
+            return
+        if len(tlb_set) >= self.ways:
+            tlb_set.popitem(last=False)
+            self.stats.evictions += 1
+        tlb_set[key] = entry
+        self.stats.insertions += 1
+
+    def invalidate_page(self, asid: Asid, virtual_address: int) -> int:
+        """Drop any entry translating ``virtual_address`` (all page sizes).
+
+        Models the per-page INVLPG half of a TLB shootdown; returns the
+        number of entries dropped (0 or 1 per supported size).
+        """
+        dropped = 0
+        for page_bits in self.page_bits_supported:
+            vpn = virtual_address >> page_bits
+            tlb_set = self._sets[self._set_index(vpn)]
+            if tlb_set.pop((asid, vpn, page_bits), None) is not None:
+                dropped += 1
+        return dropped
+
+    def invalidate_asid(self, asid: Asid) -> int:
+        """Drop all entries of one address space (explicit shootdown)."""
+        dropped = 0
+        for tlb_set in self._sets:
+            stale = [key for key in tlb_set if key[0] == asid]
+            for key in stale:
+                del tlb_set[key]
+                dropped += 1
+        return dropped
+
+    def occupancy(self) -> float:
+        held = sum(len(tlb_set) for tlb_set in self._sets)
+        return held / self.entries
+
+    def reset_stats(self) -> None:
+        self.stats = TlbStats()
+
+
+class L1TlbPair:
+    """Split L1 TLBs (4 KB and 2 MB), probed in parallel as on Skylake."""
+
+    def __init__(
+        self,
+        entries_4k: int = 64,
+        entries_2m: int = 32,
+        ways: int = 4,
+        latency: int = 9,
+    ):
+        self.tlb_4k = Tlb("l1tlb-4k", entries_4k, ways, latency, (PAGE_4K_BITS,))
+        self.tlb_2m = Tlb("l1tlb-2m", entries_2m, ways, latency, (PAGE_2M_BITS,))
+        self.latency = latency
+
+    def lookup(self, asid: Asid, virtual_address: int) -> Optional[TlbEntry]:
+        entry = self.tlb_4k.lookup(asid, virtual_address)
+        if entry is not None:
+            # The parallel 2 MB probe would also have happened; it is not a
+            # demand miss, so do not perturb its statistics.
+            return entry
+        return self.tlb_2m.lookup(asid, virtual_address)
+
+    def insert(self, asid: Asid, virtual_address: int, entry: TlbEntry) -> None:
+        target = self.tlb_4k if entry.page_bits == PAGE_4K_BITS else self.tlb_2m
+        target.insert(asid, virtual_address, entry)
+
+    def invalidate_page(self, asid: Asid, virtual_address: int) -> int:
+        return self.tlb_4k.invalidate_page(
+            asid, virtual_address
+        ) + self.tlb_2m.invalidate_page(asid, virtual_address)
+
+    @property
+    def hits(self) -> int:
+        return self.tlb_4k.stats.hits + self.tlb_2m.stats.hits
+
+    @property
+    def misses(self) -> int:
+        # A demand miss missed both structures; the 2 MB TLB sees exactly
+        # the stream that missed in the 4 KB TLB.
+        return self.tlb_2m.stats.misses

@@ -1,0 +1,263 @@
+"""Hardware page-table walkers: native 1-D and virtualized 2-D (nested).
+
+The virtualized walk follows the paper's Figure 2b: each guest page-table
+level yields a guest-physical pointer which itself needs a host (EPT)
+translation, so a cold 4 KB walk touches up to 24 memory locations (4x4
+host references for the guest pointers, 4 guest node references, and a
+final 4-reference host walk of the resulting guest-physical address).
+Warm walks are much cheaper thanks to the paging-structure caches (guest
+dimension) and the nested TLB (host dimension) — reproducing the spread
+the paper measures in Table 1.
+
+Every memory reference a walk makes is issued through a caller-provided
+accessor, so walk traffic competes for L2/L3 data-cache capacity exactly
+as the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.mem.address import Asid, PAGE_4K_BITS, RADIX_LEVELS
+from repro.mem.cache import LineKind
+from repro.vm.mmu_cache import NestedTlb, PagingStructureCache, PscConfig
+from repro.vm.page_table import PageTable, Translation
+from repro.vm.physical_memory import FrameAllocator, HostPhysicalMemory
+
+#: Signature of the memory-access callback: (host physical address, line
+#: kind, is_write) -> latency in CPU cycles.
+MemoryAccessor = Callable[[int, LineKind, bool], int]
+
+#: Guest-physical address space size per VM (frames are virtual bookkeeping;
+#: nothing this large is actually allocated).
+_GUEST_PHYS_BYTES = 1 << 40
+
+
+@dataclass
+class WalkResult:
+    """Outcome of one page walk."""
+
+    translation: Translation
+    latency: int
+    memory_refs: int
+
+
+@dataclass
+class WalkerStats:
+    walks: int = 0
+    total_latency: int = 0
+    total_refs: int = 0
+
+    @property
+    def mean_latency(self) -> float:
+        return self.total_latency / self.walks if self.walks else 0.0
+
+    @property
+    def mean_refs(self) -> float:
+        return self.total_refs / self.walks if self.walks else 0.0
+
+
+class VirtualMachine:
+    """Page tables and allocators for one guest VM (or native process group).
+
+    With ``native=True`` there is no host dimension: "guest" tables map
+    straight to host frames and are walked with the 1-D walker, modelling
+    the paper's native runs (Table 1, Figure 12).
+    """
+
+    def __init__(
+        self,
+        vm_id: int,
+        host_memory: HostPhysicalMemory,
+        native: bool = False,
+        levels: int = RADIX_LEVELS,
+    ):
+        self.vm_id = vm_id
+        self.native = native
+        self.levels = levels
+        self._host_allocator = host_memory.allocator_for_vm(vm_id)
+        if native:
+            self._guest_allocator = self._host_allocator
+            self.host_table = None
+        else:
+            # Guest-physical frames are bookkeeping numbers in a private space.
+            self._guest_allocator = FrameAllocator(
+                base_frame=0, num_frames=_GUEST_PHYS_BYTES // 4096
+            )
+            # Host (EPT) table: gPA -> hPA.  Its nodes live in host frames.
+            self.host_table = PageTable(self._host_allocator, levels=levels)
+        # Guest tables per process: gVA -> gPA (or VA -> hPA natively).
+        self._guest_tables: Dict[int, PageTable] = {}
+
+    def guest_table(self, process_id: int) -> PageTable:
+        table = self._guest_tables.get(process_id)
+        if table is None:
+            table = PageTable(self._guest_allocator, levels=self.levels)
+            self._guest_tables[process_id] = table
+        return table
+
+    def ensure_mapped(
+        self, process_id: int, virtual_address: int, page_bits: int = PAGE_4K_BITS
+    ) -> None:
+        """Demand-map a guest page and (if virtualized) its EPT backing."""
+        table = self.guest_table(process_id)
+        if table.lookup(virtual_address) is not None:
+            return
+        guest_translation = table.map_page(virtual_address, page_bits)
+        if self.native:
+            return
+        guest_physical = guest_translation.frame_base << PAGE_4K_BITS
+        if self.host_table.lookup(guest_physical) is None:
+            self.host_table.map_page(guest_physical, page_bits)
+
+    def remap_guest_page(self, process_id: int, virtual_address: int):
+        """Guest OS moves a page to a new guest frame; EPT backs it anew.
+
+        Returns the new guest-side translation.  The caller is responsible
+        for the TLB shootdown (see ``System.shootdown_page``).
+        """
+        table = self.guest_table(process_id)
+        translation = table.remap_page(virtual_address)
+        if not self.native:
+            guest_physical = translation.frame_base << PAGE_4K_BITS
+            if self.host_table.lookup(guest_physical) is None:
+                self.host_table.map_page(guest_physical, translation.page_bits)
+        return translation
+
+    def ensure_host_mapped(self, guest_physical: int) -> None:
+        """Ensure an EPT mapping exists for ``guest_physical`` (node frames)."""
+        if self.native:
+            raise RuntimeError("native contexts have no host (EPT) dimension")
+        if self.host_table.lookup(guest_physical) is None:
+            self.host_table.map_page(guest_physical, PAGE_4K_BITS)
+
+
+class PageWalker:
+    """A per-core walker with PSC and nested TLB, issuing cacheable refs."""
+
+    def __init__(
+        self,
+        accessor: MemoryAccessor,
+        psc_config: Optional[PscConfig] = None,
+        nested_tlb_entries: int = 64,
+        walk_kind: LineKind = LineKind.TLB,
+        levels: int = RADIX_LEVELS,
+    ):
+        self._access = accessor
+        self.levels = levels
+        self.psc = PagingStructureCache(psc_config, levels=levels)
+        self.nested_tlb = NestedTlb(entries=nested_tlb_entries)
+        self.walk_kind = walk_kind
+        self.stats = WalkerStats()
+
+    # ------------------------------------------------------------------
+    # Native (1-D) walk
+    # ------------------------------------------------------------------
+    def walk_native(
+        self, asid: Asid, table: PageTable, virtual_address: int
+    ) -> WalkResult:
+        """Figure 2a: a plain radix walk, shortened by PSC hits."""
+        latency = 0
+        refs = 0
+        start_level = table.levels
+        hit = self.psc.probe(asid, virtual_address)
+        latency += self.psc.config.latency
+        if hit is not None:
+            start_level = hit.start_level
+        addresses, translation = table.walk_addresses(virtual_address, start_level)
+        if translation is None:
+            raise KeyError(
+                f"walk of unmapped address {virtual_address:#x} for {asid}"
+            )
+        for entry_address in addresses:
+            latency += self._access(entry_address, self.walk_kind, False)
+            refs += 1
+        deepest = start_level - len(addresses) + 1
+        self.psc.install(asid, virtual_address, deepest)
+        self.stats.walks += 1
+        self.stats.total_latency += latency
+        self.stats.total_refs += refs
+        return WalkResult(translation, latency, refs)
+
+    # ------------------------------------------------------------------
+    # Virtualized (2-D) walk
+    # ------------------------------------------------------------------
+    def walk_virtualized(
+        self, asid: Asid, vm: VirtualMachine, virtual_address: int
+    ) -> WalkResult:
+        """Figure 2b: nested walk with PSC (guest) and nested-TLB (host)."""
+        latency = 0
+        refs = 0
+        guest_table = vm.guest_table(asid.process_id)
+        start_level = guest_table.levels
+        hit = self.psc.probe(asid, virtual_address)
+        latency += self.psc.config.latency
+        if hit is not None:
+            start_level = hit.start_level
+        entry_addresses, guest_translation = guest_table.walk_addresses(
+            virtual_address, start_level
+        )
+        if guest_translation is None:
+            raise KeyError(
+                f"walk of unmapped guest address {virtual_address:#x} for {asid}"
+            )
+        # Read each guest node entry; its guest-physical address needs a
+        # host-side translation first.
+        for guest_entry_address in entry_addresses:
+            host_latency, host_refs, host_entry = self._translate_guest_physical(
+                vm, guest_entry_address
+            )
+            latency += host_latency
+            refs += host_refs
+            latency += self._access(host_entry, self.walk_kind, False)
+            refs += 1
+        # Final host walk of the translated guest-physical data address.
+        guest_physical = guest_translation.physical_address(virtual_address)
+        host_latency, host_refs, host_physical = self._translate_guest_physical(
+            vm, guest_physical
+        )
+        latency += host_latency
+        refs += host_refs
+        deepest = start_level - len(entry_addresses) + 1
+        self.psc.install(asid, virtual_address, deepest)
+        # The effective TLB entry maps the guest page to the host frame of
+        # its page base (guest and host page sizes agree by construction).
+        page_mask = (1 << guest_translation.page_bits) - 1
+        translation = Translation(
+            frame_base=(host_physical & ~page_mask) >> PAGE_4K_BITS,
+            page_bits=guest_translation.page_bits,
+        )
+        self.stats.walks += 1
+        self.stats.total_latency += latency
+        self.stats.total_refs += refs
+        return WalkResult(translation, latency, refs)
+
+    def translate_guest_physical(
+        self, vm: VirtualMachine, guest_physical: int
+    ) -> Tuple[int, int, int]:
+        """Public gPA -> hPA translation (used by the TSB trap handler)."""
+        return self._translate_guest_physical(vm, guest_physical)
+
+    def _translate_guest_physical(
+        self, vm: VirtualMachine, guest_physical: int
+    ) -> Tuple[int, int, int]:
+        """Translate gPA -> hPA via nested TLB or a host (EPT) walk.
+
+        Returns (latency, memory references, host physical address).
+        """
+        guest_frame = guest_physical >> PAGE_4K_BITS
+        host_frame = self.nested_tlb.get(vm.vm_id, guest_frame)
+        if host_frame is not None:
+            offset = guest_physical & ((1 << PAGE_4K_BITS) - 1)
+            return self.nested_tlb.latency, 0, (host_frame << PAGE_4K_BITS) + offset
+        vm.ensure_host_mapped(guest_physical)
+        latency = self.nested_tlb.latency
+        refs = 0
+        addresses, translation = vm.host_table.walk_addresses(guest_physical)
+        for entry_address in addresses:
+            latency += self._access(entry_address, self.walk_kind, False)
+            refs += 1
+        host_physical = translation.physical_address(guest_physical)
+        self.nested_tlb.put(vm.vm_id, guest_frame, host_physical >> PAGE_4K_BITS)
+        return latency, refs, host_physical

@@ -1,0 +1,125 @@
+"""Workload abstraction: multi-threaded guest-virtual address streams.
+
+The paper drives its simulator with Pin-collected timed traces of
+memory-intensive programs (Section 4.1).  We have no proprietary traces,
+so each workload here is a *generator* that emits a guest-virtual access
+stream with the same qualitative structure — footprint, page-size mix,
+reuse locality, read/write balance and phase behaviour (see DESIGN.md
+Section 2 for the substitution argument).
+
+Address-space layout convention shared by all workloads:
+
+* ``[0, huge_va_limit)`` — data the guest OS backs with 2 MB huge pages
+  (Transparent Huge Pages picks large, dense allocations);
+* ``[REGION_4K_BASE, ...)`` — data backed with 4 KB base pages.
+
+Streams are infinite iterators of ``(virtual_address, is_write)``; the
+engine decides how many accesses to consume.  Random numbers are drawn in
+numpy batches for speed and full determinism per (workload, thread, seed).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterator, Tuple
+
+import numpy as np
+
+#: Base virtual address of the 4 KB-page region (above any huge region).
+REGION_4K_BASE = 1 << 33
+
+#: How many random numbers each generator draws per numpy call.
+BATCH = 2048
+
+AccessStream = Iterator[Tuple[int, bool]]
+
+
+class Workload(ABC):
+    """One guest program: a named source of per-thread access streams."""
+
+    #: Figure-label name, e.g. ``"gups"``.
+    name: str = "workload"
+    #: VAs below this are 2 MB-mapped (0 = everything uses 4 KB pages).
+    huge_va_limit: int = 0
+    #: Inherent memory-level parallelism: how many of this program's data
+    #: misses can overlap.  Independent random updates (gups) overlap
+    #: almost fully; dependent pointer chases (ccomp) barely at all.
+    mlp: float = 4.0
+
+    @abstractmethod
+    def thread_stream(
+        self, thread_id: int, num_threads: int = 8, seed: int = 0
+    ) -> AccessStream:
+        """Infinite access stream for one thread of this program."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+from functools import lru_cache
+
+
+@lru_cache(maxsize=16)
+def _zipf_tables(num_items: int, alpha: float, perm_seed: int):
+    """Cumulative Zipf CDF and scatter permutation, cached.
+
+    These arrays reach millions of entries for the graph workloads and
+    are identical for every thread (and every simulation run) with the
+    same parameters, so they are built once per process.
+    """
+    ranks = np.arange(1, num_items + 1, dtype=np.float64)
+    weights = ranks ** (-alpha)
+    cumulative = np.cumsum(weights)
+    cumulative /= cumulative[-1]
+    permutation = np.random.default_rng((perm_seed, num_items)).permutation(
+        num_items
+    )
+    return cumulative, permutation
+
+
+def zipf_page_sampler(
+    rng: np.random.Generator,
+    num_items: int,
+    alpha: float,
+    perm_seed: int = 0,
+    permute: bool = True,
+) -> "Callable[[int], np.ndarray]":
+    """Return a batch sampler of Zipf(alpha)-distributed indices.
+
+    Popularity rank is shuffled so hot items are scattered across the
+    region (a graph's high-degree vertices are not contiguous in memory).
+    The shuffle is keyed by ``perm_seed`` alone — *not* by ``rng`` — so
+    all threads of one program see the same hot set, as threads of a real
+    shared-memory program do.
+
+    With ``permute=False`` the indices *are* the popularity ranks (rank 0
+    hottest): use this when hot items cluster at low indices, e.g. the
+    low vertex ids of an RMAT graph, so page-level aggregation preserves
+    the skew.
+    """
+    cumulative, permutation = _zipf_tables(num_items, alpha, perm_seed)
+
+    if permute:
+        def sample(count: int) -> np.ndarray:
+            picks = np.searchsorted(cumulative, rng.random(count))
+            return permutation[picks]
+    else:
+        def sample(count: int) -> np.ndarray:
+            return np.searchsorted(cumulative, rng.random(count))
+
+    return sample
+
+
+def interleave_streams(
+    rng: np.random.Generator,
+    streams: "list[tuple[float, AccessStream]]",
+) -> AccessStream:
+    """Mix several streams with the given probabilities (must sum to 1)."""
+    probabilities = np.array([p for p, _ in streams], dtype=np.float64)
+    if not np.isclose(probabilities.sum(), 1.0):
+        raise ValueError(f"stream weights must sum to 1, got {probabilities.sum()}")
+    iterators = [iter(s) for _, s in streams]
+    while True:
+        choices = rng.choice(len(iterators), size=BATCH, p=probabilities)
+        for choice in choices:
+            yield next(iterators[choice])

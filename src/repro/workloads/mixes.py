@@ -1,0 +1,80 @@
+"""Workload registry and the paper's VM pairings (Table 3, Figure 7 x-axis).
+
+Each evaluation point co-schedules two VM contexts per core.  A single
+program name means two instances of the same program (paper footnote 7);
+the underscored names are the heterogeneous VM1/VM2 mixes of Table 3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.workloads.base import Workload
+from repro.workloads.programs import (
+    Canneal,
+    ConnectedComponent,
+    Graph500,
+    Gups,
+    PageRank,
+    StreamCluster,
+)
+
+#: The six programs of Section 4.1.
+PROGRAMS: Dict[str, type] = {
+    "canneal": Canneal,
+    "ccomp": ConnectedComponent,
+    "graph500": Graph500,
+    "gups": Gups,
+    "pagerank": PageRank,
+    "streamcluster": StreamCluster,
+}
+
+#: The ten evaluation points, in the order the figures plot them.
+MIXES: Dict[str, Tuple[str, str]] = {
+    "canneal": ("canneal", "canneal"),
+    "can_ccomp": ("canneal", "ccomp"),
+    "can_stream": ("canneal", "streamcluster"),
+    "ccomp": ("ccomp", "ccomp"),
+    "graph500": ("graph500", "graph500"),
+    "graph500_gups": ("graph500", "gups"),
+    "gups": ("gups", "gups"),
+    "pagerank": ("pagerank", "pagerank"),
+    "page_stream": ("pagerank", "streamcluster"),
+    "streamcluster": ("streamcluster", "streamcluster"),
+}
+
+MIX_NAMES: List[str] = list(MIXES)
+
+
+def make_program(name: str, scale: float = 1.0) -> Workload:
+    """Instantiate one program by its Section 4.1 name.
+
+    ``scale`` resizes footprints for a proportionally scaled machine
+    (pair with :func:`repro.sim.config.small_config` at 0.25).
+    """
+    try:
+        cls = PROGRAMS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown program {name!r}; expected one of {sorted(PROGRAMS)}"
+        ) from None
+    return cls() if scale == 1.0 else cls.scaled(scale)
+
+
+def make_mix(mix_name: str, contexts: int = 2, scale: float = 1.0) -> List[Workload]:
+    """Build the VM workload list for one evaluation point.
+
+    ``contexts`` beyond 2 replicates the pair (the Figure 14 sensitivity
+    runs 1, 2 and 4 contexts per core); ``contexts=1`` keeps only VM1.
+    """
+    if contexts < 1:
+        raise ValueError("need at least one context")
+    try:
+        names = MIXES[mix_name]
+    except KeyError:
+        raise ValueError(
+            f"unknown mix {mix_name!r}; expected one of {MIX_NAMES}"
+        ) from None
+    return [
+        make_program(names[index % 2], scale) for index in range(contexts)
+    ]

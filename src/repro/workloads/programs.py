@@ -1,0 +1,453 @@
+"""The six programs of the paper's Section 4.1, as synthetic generators.
+
+Parameter choices place each program in the qualitative regime the paper
+measures (Figure 1 MPKI ratios, Table 1 walk costs, Figure 3 occupancy):
+
+* **gups** — uniform random read-modify-writes over a huge-page table
+  sized so one instance fits the 1536-entry L2 TLB but two do not;
+* **graph500** — BFS: streaming edge scans mixed with Zipf-skewed random
+  vertex reads over a huge-page vertex array;
+* **pagerank** — edge stream plus skewed random rank *updates*;
+* **canneal** — Zipf-distributed random swaps over a 4 KB-page netlist;
+* **streamcluster** — sequential point streaming with a small hot
+  centroid set (low TLB pressure: hundreds of accesses per page);
+* **connectedcomponent (ccomp)** — pointer-chasing over an *active
+  window* of pages that is regenerated periodically, alternating a
+  process phase (reuse within the window) and a generate phase (scatter
+  over the whole region) — the phase behaviour Figure 9 visualizes.
+
+All sizes are scaled with the rest of the simulation (DESIGN.md Section 5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import (
+    BATCH,
+    REGION_4K_BASE,
+    AccessStream,
+    Workload,
+    zipf_page_sampler,
+)
+
+PAGE = 4096
+HUGE = 2 * 1024 * 1024
+
+
+def round_to_huge(num_bytes: float) -> int:
+    """Round a byte count up to a whole number of 2 MB huge pages."""
+    pages = max(1, int(num_bytes + HUGE - 1) // HUGE)
+    return pages * HUGE
+
+
+def round_to_pages(num_bytes: float) -> int:
+    """Round a byte count up to a whole number of 4 KB pages."""
+    pages = max(1, int(num_bytes + PAGE - 1) // PAGE)
+    return pages * PAGE
+
+
+class Gups(Workload):
+    """Giant random updates over a huge-page table (HPCC RandomAccess)."""
+
+    name = "gups"
+    mlp = 8.0
+
+    def __init__(self, table_bytes: int = 3328 * 1024 * 1024):
+        self.table_bytes = table_bytes
+        self.huge_va_limit = table_bytes
+
+    def thread_stream(
+        self, thread_id: int, num_threads: int = 8, seed: int = 0
+    ) -> AccessStream:
+        rng = np.random.default_rng((seed, thread_id, 0xF005))
+        slots = self.table_bytes // 8
+        while True:
+            picks = rng.integers(0, slots, size=BATCH) * 8
+            for offset in picks:
+                address = int(offset)
+                yield address, False  # read ...
+                yield address, True  # ... modify-write
+
+    @classmethod
+    def scaled(cls, factor: float) -> "Gups":
+        """Resize for a machine whose capacities are scaled by ``factor``."""
+        return cls(table_bytes=round_to_huge(3328 * 1024 * 1024 * factor))
+
+    def __repr__(self) -> str:
+        return f"Gups(table_bytes={self.table_bytes})"
+
+
+class Graph500(Workload):
+    """BFS over a scale-free graph: edge streaming + random vertex reads."""
+
+    name = "graph500"
+    mlp = 6.0
+
+    def __init__(
+        self,
+        vertex_bytes: int = 1792 * 1024 * 1024,
+        edge_bytes: int = 256 * 1024 * 1024,
+        vertex_fraction: float = 0.55,
+        metadata_fraction: float = 0.2,
+        zipf_alpha: float = 0.55,
+    ):
+        self.vertex_bytes = vertex_bytes
+        self.edge_bytes = edge_bytes
+        self.vertex_fraction = vertex_fraction
+        # The visited/parent metadata array is byte-per-vertex and (unlike
+        # the THP-backed vertex array) lives on 4 KB pages, so BFS puts
+        # real pressure on the 4 KB TLB path too.
+        self.metadata_fraction = metadata_fraction
+        self.zipf_alpha = zipf_alpha
+        self.huge_va_limit = vertex_bytes
+
+    def thread_stream(
+        self, thread_id: int, num_threads: int = 8, seed: int = 0
+    ) -> AccessStream:
+        rng = np.random.default_rng((seed, thread_id, 0x6500))
+        vertices = self.vertex_bytes // 64
+        sample_vertex = zipf_page_sampler(
+            rng, vertices, self.zipf_alpha, perm_seed=seed
+        )
+        # RMAT graphs put the high-degree vertices at low ids, so the
+        # visited array's hot bytes cluster into few 4 KB pages.
+        sample_meta = zipf_page_sampler(
+            rng, vertices, 1.0, perm_seed=seed, permute=False
+        )
+        edge_span = self.edge_bytes // num_threads
+        edge_base = REGION_4K_BASE + thread_id * edge_span
+        metadata_base = REGION_4K_BASE + self.edge_bytes
+        edge_cursor = 0
+        meta_cut = self.vertex_fraction + self.metadata_fraction
+        while True:
+            rolls = rng.random(BATCH)
+            vertex_picks = sample_vertex(BATCH)
+            meta_picks = sample_meta(BATCH)
+            for roll, vertex, meta in zip(rolls, vertex_picks, meta_picks):
+                if roll < self.vertex_fraction:
+                    yield int(vertex) * 64, False
+                elif roll < meta_cut:
+                    # Byte-per-vertex visited/parent array on 4 KB pages.
+                    yield metadata_base + int(meta), True
+                else:
+                    yield edge_base + edge_cursor, False
+                    edge_cursor = (edge_cursor + 16) % edge_span
+
+
+    @classmethod
+    def scaled(cls, factor: float) -> "Graph500":
+        """Resize for a machine whose capacities are scaled by ``factor``."""
+        return cls(
+            vertex_bytes=round_to_huge(1792 * 1024 * 1024 * factor),
+            edge_bytes=round_to_pages(32 * 1024 * 1024 * factor),
+        )
+
+
+class PageRank(Workload):
+    """Rank propagation: sequential edges, skewed random rank updates."""
+
+    name = "pagerank"
+    mlp = 6.0
+
+    def __init__(
+        self,
+        vertex_bytes: int = 1600 * 1024 * 1024,
+        edge_bytes: int = 384 * 1024 * 1024,
+        vertex_fraction: float = 0.45,
+        metadata_fraction: float = 0.18,
+        zipf_alpha: float = 0.7,
+    ):
+        self.vertex_bytes = vertex_bytes
+        self.edge_bytes = edge_bytes
+        self.vertex_fraction = vertex_fraction
+        # Out-degree array: 4-bytes-per-vertex on 4 KB pages (the rank
+        # array itself is THP-backed).
+        self.metadata_fraction = metadata_fraction
+        self.zipf_alpha = zipf_alpha
+        self.huge_va_limit = vertex_bytes
+
+    def thread_stream(
+        self, thread_id: int, num_threads: int = 8, seed: int = 0
+    ) -> AccessStream:
+        rng = np.random.default_rng((seed, thread_id, 0x9A6E))
+        vertices = self.vertex_bytes // 64
+        sample_vertex = zipf_page_sampler(
+            rng, vertices, self.zipf_alpha, perm_seed=seed
+        )
+        sample_meta = zipf_page_sampler(
+            rng, self.vertex_bytes // 64, 1.0, perm_seed=seed, permute=False
+        )
+        edge_span = self.edge_bytes // num_threads
+        edge_base = REGION_4K_BASE + thread_id * edge_span
+        metadata_base = REGION_4K_BASE + self.edge_bytes
+        edge_cursor = 0
+        meta_cut = self.vertex_fraction + self.metadata_fraction
+        while True:
+            rolls = rng.random(BATCH)
+            writes = rng.random(BATCH) < 0.5
+            vertex_picks = sample_vertex(BATCH)
+            meta_picks = sample_meta(BATCH)
+            for roll, is_write, vertex, meta in zip(
+                rolls, writes, vertex_picks, meta_picks
+            ):
+                if roll < self.vertex_fraction:
+                    yield int(vertex) * 64, bool(is_write)
+                elif roll < meta_cut:
+                    yield metadata_base + int(meta) * 4, False
+                else:
+                    yield edge_base + edge_cursor, False
+                    edge_cursor = (edge_cursor + 16) % edge_span
+
+
+    @classmethod
+    def scaled(cls, factor: float) -> "PageRank":
+        """Resize for a machine whose capacities are scaled by ``factor``."""
+        return cls(
+            vertex_bytes=round_to_huge(1600 * 1024 * 1024 * factor),
+            edge_bytes=round_to_pages(48 * 1024 * 1024 * factor),
+        )
+
+
+class Canneal(Workload):
+    """Simulated-annealing netlist swaps: Zipf random over 4 KB pages."""
+
+    name = "canneal"
+    mlp = 3.0
+
+    def __init__(
+        self,
+        netlist_bytes: int = 8 * 1024 * 1024,
+        cold_bytes: int = 192 * 1024 * 1024,
+        cold_fraction: float = 0.05,
+        zipf_alpha: float = 1.0,
+        write_fraction: float = 0.3,
+    ):
+        self.netlist_bytes = netlist_bytes
+        self.cold_bytes = cold_bytes
+        self.cold_fraction = cold_fraction
+        self.zipf_alpha = zipf_alpha
+        self.write_fraction = write_fraction
+
+    def thread_stream(
+        self, thread_id: int, num_threads: int = 8, seed: int = 0
+    ) -> AccessStream:
+        rng = np.random.default_rng((seed, thread_id, 0xCA22))
+        hot_pages = self.netlist_bytes // PAGE
+        sample_hot = zipf_page_sampler(
+            rng, hot_pages, self.zipf_alpha, perm_seed=seed
+        )
+        cold_pages = self.cold_bytes // PAGE
+        while True:
+            hot_picks = sample_hot(BATCH)
+            cold_picks = rng.integers(0, cold_pages, size=BATCH)
+            offsets = rng.integers(0, PAGE // 8, size=BATCH) * 8
+            colds = rng.random(BATCH) < self.cold_fraction
+            writes = rng.random(BATCH) < self.write_fraction
+            for hot, cold, offset, is_cold, is_write in zip(
+                hot_picks, cold_picks, offsets, colds, writes
+            ):
+                if is_cold:
+                    page = hot_pages + int(cold)
+                else:
+                    page = int(hot)
+                yield REGION_4K_BASE + page * PAGE + int(offset), bool(is_write)
+
+
+    @classmethod
+    def scaled(cls, factor: float) -> "Canneal":
+        """Resize for a machine whose capacities are scaled by ``factor``."""
+        return cls(
+            netlist_bytes=round_to_pages(8 * 1024 * 1024 * factor),
+            cold_bytes=round_to_pages(64 * 1024 * 1024 * factor),
+        )
+
+
+class StreamCluster(Workload):
+    """Online clustering: stream the point set, revisit hot centroids."""
+
+    name = "streamcluster"
+    mlp = 8.0
+
+    def __init__(
+        self,
+        points_bytes: int = 56 * 1024 * 1024,
+        centroid_bytes: int = 64 * 1024,
+        centroid_fraction: float = 0.25,
+        stride: int = 64,
+    ):
+        self.points_bytes = points_bytes
+        self.centroid_bytes = centroid_bytes
+        self.centroid_fraction = centroid_fraction
+        self.stride = stride
+
+    def thread_stream(
+        self, thread_id: int, num_threads: int = 8, seed: int = 0
+    ) -> AccessStream:
+        rng = np.random.default_rng((seed, thread_id, 0x57C1))
+        span = self.points_bytes // num_threads
+        base = REGION_4K_BASE + thread_id * span
+        centroid_base = REGION_4K_BASE + self.points_bytes + thread_id * (
+            self.centroid_bytes
+        )
+        cursor = 0
+        while True:
+            centroid_picks = rng.integers(
+                0, self.centroid_bytes // 8, size=BATCH
+            ) * 8
+            use_centroid = rng.random(BATCH) < self.centroid_fraction
+            for pick, hot in zip(centroid_picks, use_centroid):
+                if hot:
+                    yield centroid_base + int(pick), False
+                else:
+                    yield base + cursor, False
+                    cursor = (cursor + self.stride) % span
+
+
+    @classmethod
+    def scaled(cls, factor: float) -> "StreamCluster":
+        """Resize for a machine whose capacities are scaled by ``factor``."""
+        return cls(
+            points_bytes=round_to_pages(56 * 1024 * 1024 * factor),
+            centroid_bytes=round_to_pages(64 * 1024 * factor),
+        )
+
+
+class ConnectedComponent(Workload):
+    """GraphChi-style union-find: windowed pointer-chase with phases.
+
+    Alternates a *process* phase — dependent random accesses inside the
+    current active-vertex window — with a shorter *generate* phase that
+    scatters over the whole region to build the next window (the paper's
+    Section 5.1 deep-dive describes exactly this alternation).  The window
+    hops to a new random position each cycle, so little state survives a
+    context switch.
+    """
+
+    name = "ccomp"
+    # Union-find parent chasing is a dependent chain: misses barely overlap.
+    mlp = 1.5
+
+    def __init__(
+        self,
+        region_bytes: int = 768 * 1024 * 1024,
+        window_pages: int = 1400,
+        process_accesses: int = 12_000,
+        generate_accesses: int = 3_000,
+        stray_fraction: float = 0.05,
+        stray_zipf_alpha: float = 0.95,
+        write_fraction: float = 0.25,
+        root_fraction: float = 0.4,
+        root_lines: int = 96,
+        generate_mode: str = "random",
+    ):
+        if generate_mode not in ("random", "sequential"):
+            raise ValueError(f"unknown generate_mode {generate_mode!r}")
+        self.generate_mode = generate_mode
+        self.region_bytes = region_bytes
+        self.window_pages = window_pages
+        self.process_accesses = process_accesses
+        self.generate_accesses = generate_accesses
+        self.stray_fraction = stray_fraction
+        # Stray lookups target *popular* vertices (graph degree skew), so
+        # a single context keeps its hot strays TLB-resident while two
+        # co-scheduled contexts overflow the TLB - the Figure 1 cliff.
+        self.stray_zipf_alpha = stray_zipf_alpha
+        self.write_fraction = write_fraction
+        # Union-find chains terminate at a few hot roots: a large share of
+        # *data* references hit a small set of root cache lines (cache
+        # friendly) while the visited *pages* stay scattered (TLB hostile)
+        # - the inversion behind the paper's "L2 TLB miss rate is ~10x the
+        # L1 data cache miss rate" observation for this workload.
+        self.root_fraction = root_fraction
+        self.root_lines = root_lines
+
+    def thread_stream(
+        self, thread_id: int, num_threads: int = 8, seed: int = 0
+    ) -> AccessStream:
+        rng = np.random.default_rng((seed, thread_id, 0xCC02))
+        total_pages = self.region_bytes // PAGE
+        sample_stray = zipf_page_sampler(
+            rng, total_pages, self.stray_zipf_alpha, perm_seed=seed
+        )
+        # All threads process the same active list: the window schedule is
+        # keyed by (seed, phase) only, so per-VM TLB/cache footprint is one
+        # window, not one per thread.
+        schedule = np.random.default_rng((seed, 0xCC02))
+        window_start = int(schedule.integers(0, total_pages - self.window_pages))
+        while True:
+            # Process phase: chase parents within the active window.  Root
+            # references revisit a few hot lines spread over the window.
+            root_slots = schedule.integers(
+                0, self.window_pages * (PAGE // 64), size=self.root_lines
+            )
+            remaining = self.process_accesses
+            while remaining > 0:
+                count = min(BATCH, remaining)
+                pages = rng.integers(0, self.window_pages, size=count)
+                strays = rng.random(count) < self.stray_fraction
+                roots = rng.random(count) < self.root_fraction
+                root_picks = root_slots[
+                    rng.integers(0, self.root_lines, size=count)
+                ]
+                stray_pages = sample_stray(count)
+                offsets = rng.integers(0, PAGE // 8, size=count) * 8
+                writes = rng.random(count) < self.write_fraction
+                for page, stray, is_root, root_slot, stray_page, offset, is_write in zip(
+                    pages, strays, roots, root_picks, stray_pages, offsets, writes
+                ):
+                    if stray:
+                        chosen = int(stray_page) * PAGE + int(offset)
+                    elif is_root:
+                        chosen = window_start * PAGE + int(root_slot) * 64
+                    else:
+                        chosen = (window_start + int(page)) * PAGE + int(offset)
+                    yield REGION_4K_BASE + chosen, bool(is_write)
+                remaining -= count
+            # Generate phase: build the next active list.  "random" mode
+            # scatters over the whole region (maximum TLB pressure — the
+            # translation-hungry phase Figure 9 shows); "sequential" mode
+            # streams a region slice (cache flood, little TLB pressure).
+            remaining = self.generate_accesses
+            if self.generate_mode == "sequential":
+                scan_base = int(
+                    schedule.integers(0, total_pages - self.window_pages)
+                ) * PAGE
+                cursor = thread_id * 8192
+                while remaining > 0:
+                    count = min(BATCH, remaining)
+                    for _ in range(count):
+                        address = scan_base + (
+                            cursor % (self.window_pages * PAGE)
+                        )
+                        yield REGION_4K_BASE + address, True
+                        cursor += 64
+                    remaining -= count
+            else:
+                while remaining > 0:
+                    count = min(BATCH, remaining)
+                    pages = rng.integers(0, total_pages, size=count)
+                    offsets = rng.integers(0, PAGE // 8, size=count) * 8
+                    for page, offset in zip(pages, offsets):
+                        yield (
+                            REGION_4K_BASE + int(page) * PAGE + int(offset),
+                            True,
+                        )
+                    remaining -= count
+            window_start = int(
+                schedule.integers(0, total_pages - self.window_pages)
+            )
+
+    @classmethod
+    def scaled(cls, factor: float) -> "ConnectedComponent":
+        """Resize for a machine whose capacities are scaled by ``factor``."""
+        return cls(
+            region_bytes=round_to_pages(256 * 1024 * 1024 * factor),
+            window_pages=max(64, int(1000 * factor)),
+            process_accesses=max(1_000, int(12_000 * factor)),
+            generate_accesses=max(250, int(3_600 * factor)),
+            stray_fraction=0.06,
+            stray_zipf_alpha=0.0,
+            root_lines=max(16, int(96 * factor)),
+            generate_mode="random",
+        )

@@ -1,0 +1,112 @@
+"""Unit tests for address arithmetic (repro.mem.address)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mem.address import (
+    CACHE_LINE_BYTES,
+    PAGE_2M,
+    PAGE_2M_BITS,
+    PAGE_4K,
+    PAGE_4K_BITS,
+    Asid,
+    KERNEL_ASID,
+    line_address,
+    line_number,
+    page_base,
+    page_number,
+    page_offset,
+    radix_index,
+)
+
+addresses = st.integers(min_value=0, max_value=(1 << 48) - 1)
+
+
+class TestLineMath:
+    def test_line_address_aligns_down(self):
+        assert line_address(0) == 0
+        assert line_address(63) == 0
+        assert line_address(64) == 64
+        assert line_address(130) == 128
+
+    def test_line_number(self):
+        assert line_number(0) == 0
+        assert line_number(64) == 1
+        assert line_number(64 * 10 + 3) == 10
+
+    @given(addresses)
+    def test_line_address_idempotent(self, address):
+        aligned = line_address(address)
+        assert aligned % CACHE_LINE_BYTES == 0
+        assert line_address(aligned) == aligned
+        assert aligned <= address < aligned + CACHE_LINE_BYTES
+
+
+class TestPageMath:
+    def test_page_number_4k(self):
+        assert page_number(0) == 0
+        assert page_number(PAGE_4K) == 1
+        assert page_number(PAGE_4K - 1) == 0
+
+    def test_page_number_2m(self):
+        assert page_number(PAGE_2M, PAGE_2M_BITS) == 1
+        assert page_number(PAGE_2M - 1, PAGE_2M_BITS) == 0
+
+    @given(addresses, st.sampled_from([PAGE_4K_BITS, PAGE_2M_BITS]))
+    def test_base_plus_offset_reconstructs(self, address, bits):
+        assert page_base(address, bits) + page_offset(address, bits) == address
+
+    @given(addresses)
+    def test_offset_bounded(self, address):
+        assert 0 <= page_offset(address) < PAGE_4K
+
+
+class TestRadixIndex:
+    def test_level_bounds(self):
+        with pytest.raises(ValueError):
+            radix_index(0, 0)
+        with pytest.raises(ValueError):
+            radix_index(0, 6)
+        # Level 5 is valid (Intel LA57 five-level paging).
+        assert radix_index(7 << (12 + 4 * 9), 5) == 7
+
+    def test_level1_is_low_bits(self):
+        # Level 1 indexes VA bits 12..20.
+        assert radix_index(0x1000, 1) == 1
+        assert radix_index(0x200000, 1) == 0
+        assert radix_index(0x200000, 2) == 1
+
+    def test_level4_is_top_bits(self):
+        virtual = 5 << (PAGE_4K_BITS + 27)
+        assert radix_index(virtual, 4) == 5
+
+    @given(addresses)
+    def test_indices_reconstruct_page_number(self, address):
+        vpn = 0
+        for level in (4, 3, 2, 1):
+            vpn = (vpn << 9) | radix_index(address, level)
+        assert vpn == page_number(address)
+
+    @given(addresses, st.integers(min_value=1, max_value=4))
+    def test_index_in_node_range(self, address, level):
+        assert 0 <= radix_index(address, level) < 512
+
+
+class TestAsid:
+    def test_equality_and_hash(self):
+        assert Asid(1, 2) == Asid(1, 2)
+        assert Asid(1, 2) != Asid(2, 1)
+        assert len({Asid(0), Asid(0), Asid(1)}) == 2
+
+    def test_default_process(self):
+        assert Asid(3).process_id == 0
+
+    def test_str(self):
+        assert str(Asid(1, 2)) == "vm1.p2"
+
+    def test_kernel_asid_is_distinct(self):
+        assert KERNEL_ASID != Asid(0, 0)
+
+    def test_tuple_behaviour(self):
+        vm_id, process_id = Asid(7, 9)
+        assert (vm_id, process_id) == (7, 9)

@@ -1,0 +1,94 @@
+"""Unit tests for the miss-curve analysis helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.miss_curves import (
+    ascii_bars,
+    hit_curve,
+    marginal_gain,
+    miss_ratio_curve,
+    profiler_summary,
+    utility_surface,
+)
+from repro.core.partitioning import best_partition
+from repro.core.stack_distance import StackDistanceProfiler
+
+counters = st.lists(st.integers(min_value=0, max_value=100),
+                    min_size=5, max_size=9)
+
+
+class TestCurves:
+    def test_hit_curve(self):
+        assert hit_curve([5, 3, 2, 10]) == [0, 5, 8, 10]
+
+    def test_miss_ratio_curve(self):
+        curve = miss_ratio_curve([5, 3, 2, 10])
+        assert curve[0] == 1.0
+        assert curve[-1] == pytest.approx(0.5)
+
+    def test_miss_ratio_all_zero(self):
+        assert miss_ratio_curve([0, 0, 0]) == [1.0, 1.0, 1.0]
+
+    def test_marginal_gain_drops_miss_bucket(self):
+        assert marginal_gain([5, 3, 2, 10]) == [5, 3, 2]
+
+    @given(counters)
+    def test_miss_ratio_monotone_nonincreasing(self, values):
+        curve = miss_ratio_curve(values)
+        assert all(a >= b - 1e-12 for a, b in zip(curve, curve[1:]))
+
+    @given(counters)
+    def test_hit_curve_monotone(self, values):
+        curve = hit_curve(values)
+        assert all(a <= b for a, b in zip(curve, curve[1:]))
+
+
+class TestUtilitySurface:
+    def test_matches_best_partition(self):
+        data = [10, 5, 1, 0, 0, 0, 0, 0, 50]
+        tlb = [2, 2, 2, 2, 2, 2, 2, 2, 10]
+        surface = utility_surface(data, tlb, 8)
+        assert surface.best_data_ways == best_partition(data, tlb, 8)
+
+    def test_rows_cover_all_splits(self):
+        surface = utility_surface([1] * 9, [1] * 9, 8)
+        rows = surface.as_rows()
+        assert len(rows) == 7
+        assert rows[0][:2] == (1, 7)
+        assert rows[-1][:2] == (7, 1)
+
+    def test_weights_shift_surface(self):
+        data = [4] * 8 + [0]
+        tlb = [4] * 8 + [0]
+        neutral = utility_surface(data, tlb, 8)
+        tilted = utility_surface(data, tlb, 8, weight_tlb=8.0)
+        assert tilted.best_data_ways < neutral.best_data_ways or (
+            neutral.best_data_ways == 1
+        )
+
+
+class TestRendering:
+    def test_profiler_summary_empty(self):
+        assert "no accesses" in profiler_summary(StackDistanceProfiler(4))
+
+    def test_profiler_summary_content(self):
+        profiler = StackDistanceProfiler(4, sample_shift=0)
+        for tag in (1, 1, 2, 1):
+            profiler.record(0, tag)
+        text = profiler_summary(profiler)
+        assert "4 accesses" in text
+
+    def test_ascii_bars(self):
+        text = ascii_bars([1.0, 0.5], ["full", "half"])
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert lines[0].count("#") > lines[1].count("#")
+
+    def test_ascii_bars_validation(self):
+        with pytest.raises(ValueError):
+            ascii_bars([1.0], ["a", "b"])
+
+    def test_ascii_bars_zero_values(self):
+        text = ascii_bars([0.0, 0.0], ["a", "b"])
+        assert "0.000" in text

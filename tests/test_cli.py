@@ -1,0 +1,82 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestMixes:
+    def test_lists_programs_and_mixes(self, capsys):
+        assert main(["mixes"]) == 0
+        out = capsys.readouterr().out
+        assert "gups" in out
+        assert "can_ccomp" in out
+        assert "canneal + ccomp" in out
+
+
+class TestRun:
+    def test_run_summary(self, capsys):
+        code = main([
+            "run", "--mix", "gups", "--scheme", "pom-tlb",
+            "--accesses", "3000",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "IPC (geomean)" in out
+        assert "walks eliminated" in out
+
+    def test_run_with_baseline(self, capsys):
+        code = main([
+            "run", "--mix", "gups", "--scheme", "csalt-cd",
+            "--accesses", "3000", "--baseline",
+        ])
+        assert code == 0
+        assert "vs POM-TLB" in capsys.readouterr().out
+
+    def test_run_native_five_level(self, capsys):
+        code = main([
+            "run", "--mix", "streamcluster", "--scheme", "conventional",
+            "--accesses", "3000", "--native", "--levels", "5",
+        ])
+        assert code == 0
+
+    def test_bad_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--scheme", "magic"])
+
+    def test_bad_mix_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--mix", "doom3"])
+
+
+class TestReport:
+    def test_only_subset(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_TOTAL_ACCESSES", "1000")
+        # Re-resolve the runner default lazily: run_point reads the module
+        # constant, so patch it directly for this tiny run.
+        import repro.experiments.runner as runner
+        monkeypatch.setattr(runner, "DEFAULT_TOTAL_ACCESSES", 1000)
+        runner.clear_cache()
+        code = main(["report", "--only", "figure8"])
+        assert code == 0
+        assert "Figure 8" in capsys.readouterr().out
+        runner.clear_cache()
+
+    def test_unknown_exhibit(self, capsys):
+        assert main(["report", "--only", "figure99"]) == 2
+        assert "unknown exhibits" in capsys.readouterr().err
+
+
+class TestTrace:
+    def test_record_info_run(self, tmp_path, capsys):
+        path = str(tmp_path / "t.npz")
+        assert main([
+            "trace", "record", "gups", path, "--accesses", "300",
+        ]) == 0
+        assert main(["trace", "info", path]) == 0
+        out = capsys.readouterr().out
+        assert "threads" in out
+        assert main([
+            "trace", "run", path, "--scheme", "pom-tlb",
+            "--accesses", "2000",
+        ]) == 0

@@ -1,0 +1,100 @@
+"""Smoke tests for the experiment harness (tiny runs)."""
+
+import pytest
+
+from repro.core.schemes import Scheme
+from repro.experiments import figures
+from repro.experiments.runner import cache_size, clear_cache, run_point
+from repro.experiments.tables import format_table
+
+TINY = dict(total_accesses=1_500)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestRunner:
+    def test_run_point_returns_result(self):
+        result = run_point("gups", Scheme.POM_TLB, **TINY)
+        assert result.scheme == "pom-tlb"
+        assert result.instructions > 0
+
+    def test_caching(self):
+        first = run_point("gups", Scheme.POM_TLB, **TINY)
+        size = cache_size()
+        second = run_point("gups", Scheme.POM_TLB, **TINY)
+        assert second is first
+        assert cache_size() == size
+
+    def test_distinct_keys_not_cached_together(self):
+        run_point("gups", Scheme.POM_TLB, **TINY)
+        run_point("gups", Scheme.POM_TLB, contexts=1, **TINY)
+        assert cache_size() == 2
+
+    def test_partial_partition_runs(self):
+        result = run_point(
+            "gups", Scheme.CSALT_CD, partition_l2_only=True, **TINY
+        )
+        assert result.instructions > 0
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["xx", 3]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+        assert "2.500" in text
+
+
+class TestFigures:
+    def test_figure1_rows(self):
+        result = figures.run_figure1(mixes=("gups",), **TINY)
+        assert result.rows[0][0] == "gups"
+        assert result.rows[-1][0] == "geomean"
+        assert "Figure 1" in result.format()
+
+    def test_table1_rows(self):
+        result = figures.run_table1(programs=("gups",), **TINY)
+        assert len(result.rows) == 1
+        native, virtualized = result.rows[0][1], result.rows[0][2]
+        assert native >= 0 and virtualized >= 0
+
+    def test_figure7_normalized_to_pom(self):
+        result = figures.run_figure7(
+            mixes=("gups",), schemes=(Scheme.POM_TLB,), **TINY
+        )
+        assert result.rows[0][1] == pytest.approx(1.0)
+
+    def test_figure8_fraction_range(self):
+        result = figures.run_figure8(mixes=("gups",), **TINY)
+        assert 0.0 <= result.rows[0][1] <= 1.0
+
+    def test_figure9_timeline(self):
+        result = figures.run_figure9(mix="gups", **TINY)
+        assert result.l3_series
+        assert result.variation() >= 0.0
+        assert "Figure 9" in result.format()
+
+    def test_figure14_context_columns(self):
+        result = figures.run_figure14(
+            mixes=("gups",), context_counts=(1, 2), **TINY
+        )
+        assert len(result.rows[0]) == 3
+
+    def test_figure15_default_epoch_is_unity(self):
+        result = figures.run_figure15(
+            mixes=("gups",), epochs=(1_000, 2_000), **TINY
+        )
+        # The middle epoch (index len//2 = 1 -> 2000) is the baseline.
+        assert result.rows[0][2] == pytest.approx(1.0)
+
+    def test_runs_shared_between_figures(self):
+        figures.run_figure7(mixes=("gups",), **TINY)
+        size = cache_size()
+        figures.run_figure8(mixes=("gups",), **TINY)
+        assert cache_size() == size  # figure 8 reused figure 7's POM run

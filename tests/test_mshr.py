@@ -1,0 +1,73 @@
+"""Unit tests for the MSHR/MLP overlap model."""
+
+import pytest
+
+from repro.mem.mshr import MshrModel
+
+
+class TestValidation:
+    def test_entries_positive(self):
+        with pytest.raises(ValueError):
+            MshrModel(entries=0)
+
+    def test_mlp_at_least_one(self):
+        with pytest.raises(ValueError):
+            MshrModel(workload_mlp=0.5)
+
+
+class TestMlpEstimate:
+    def test_starts_at_one(self):
+        assert MshrModel().mlp == pytest.approx(1.0)
+
+    def test_all_misses_approach_cap(self):
+        model = MshrModel(entries=10, workload_mlp=4.0)
+        for _ in range(1000):
+            model.observe(True)
+        assert model.mlp == pytest.approx(4.0, abs=0.05)
+
+    def test_cap_is_min_of_entries_and_workload(self):
+        assert MshrModel(entries=2, workload_mlp=8.0).mlp_cap == 2.0
+        assert MshrModel(entries=16, workload_mlp=3.0).mlp_cap == 3.0
+
+    def test_hits_pull_estimate_down(self):
+        model = MshrModel()
+        for _ in range(500):
+            model.observe(True)
+        high = model.mlp
+        for _ in range(500):
+            model.observe(False)
+        assert model.mlp < high
+
+    def test_mlp_bounded(self):
+        model = MshrModel(entries=10, workload_mlp=6.0)
+        for flag in [True, False] * 200:
+            model.observe(flag)
+            assert 1.0 <= model.mlp <= 6.0
+
+
+class TestStalls:
+    def test_translation_charged_in_full(self):
+        model = MshrModel()
+        for _ in range(1000):
+            model.observe(True)
+        assert model.translation_stall(200) == 200
+
+    def test_data_stall_divided_by_mlp(self):
+        model = MshrModel(entries=10, workload_mlp=4.0)
+        for _ in range(2000):
+            model.observe(True)
+        assert model.data_stall(400) == pytest.approx(100, rel=0.05)
+
+    def test_isolated_miss_charged_nearly_full(self):
+        model = MshrModel()
+        for _ in range(1000):
+            model.observe(False)
+        model.observe(True)
+        assert model.data_stall(100) > 90
+
+    def test_reset(self):
+        model = MshrModel()
+        for _ in range(100):
+            model.observe(True)
+        model.reset()
+        assert model.mlp == pytest.approx(1.0)

@@ -1,0 +1,234 @@
+"""Unit and property tests for replacement policies."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mem.replacement import NRU, TreePLRU, TrueLRU, make_policy
+
+
+class TestMakePolicy:
+    def test_names(self):
+        assert isinstance(make_policy("lru", 4), TrueLRU)
+        assert isinstance(make_policy("NRU", 4), NRU)
+        assert isinstance(make_policy("plru", 4), TreePLRU)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown replacement policy"):
+            make_policy("belady", 4)
+
+    def test_bad_ways(self):
+        with pytest.raises(ValueError):
+            TrueLRU(0)
+
+
+class TestTrueLRU:
+    def test_initial_order(self):
+        policy = TrueLRU(4)
+        state = policy.new_set_state()
+        assert policy.victim(state, range(4)) == 3
+
+    def test_touch_moves_to_mru(self):
+        policy = TrueLRU(4)
+        state = policy.new_set_state()
+        policy.touch(state, 3)
+        assert policy.stack_position(state, 3) == 0
+        assert policy.victim(state, range(4)) == 2
+
+    def test_victim_respects_candidates(self):
+        policy = TrueLRU(4)
+        state = policy.new_set_state()
+        # LRU order is 3 > 2 > 1 > 0; restricted to {0, 1} the victim is 1.
+        assert policy.victim(state, range(2)) == 1
+
+    def test_victim_empty_partition(self):
+        policy = TrueLRU(4)
+        state = policy.new_set_state()
+        with pytest.raises(ValueError):
+            policy.victim(state, range(0))
+
+    def test_insert_at_lru(self):
+        policy = TrueLRU(4)
+        state = policy.new_set_state()
+        policy.insert(state, 0, at_mru=False)
+        assert policy.victim(state, range(4)) == 0
+
+    @given(st.lists(st.integers(min_value=0, max_value=7), min_size=1, max_size=64))
+    def test_stack_position_matches_reference(self, touches):
+        """Stack position must equal the reference recency list's index."""
+        policy = TrueLRU(8)
+        state = policy.new_set_state()
+        reference = list(range(8))
+        for way in touches:
+            policy.touch(state, way)
+            reference.remove(way)
+            reference.insert(0, way)
+        for way in range(8):
+            assert policy.stack_position(state, way) == reference.index(way)
+
+    @given(st.lists(st.integers(min_value=0, max_value=7), max_size=64))
+    def test_positions_are_a_permutation(self, touches):
+        policy = TrueLRU(8)
+        state = policy.new_set_state()
+        for way in touches:
+            policy.touch(state, way)
+        positions = sorted(policy.stack_position(state, w) for w in range(8))
+        assert positions == list(range(8))
+
+
+class TestNRU:
+    def test_touch_sets_bit(self):
+        policy = NRU(4)
+        state = policy.new_set_state()
+        policy.touch(state, 2)
+        assert state[2] is True
+
+    def test_all_set_resets_others(self):
+        policy = NRU(4)
+        state = policy.new_set_state()
+        for way in range(4):
+            policy.touch(state, way)
+        # Last touch (way 3) keeps its bit; the others were reset.
+        assert state == [False, False, False, True]
+
+    def test_victim_prefers_clear_bit(self):
+        policy = NRU(4)
+        state = policy.new_set_state()
+        policy.touch(state, 0)
+        assert policy.victim(state, range(4)) == 1
+
+    def test_victim_resets_when_all_referenced(self):
+        policy = NRU(2)
+        state = [True, True]
+        victim = policy.victim(state, range(2))
+        assert victim == 0
+        assert state == [False, False]
+
+    def test_victim_scoped_to_partition(self):
+        policy = NRU(4)
+        state = [True, True, False, True]
+        # Partition {0, 1}: both referenced, reset only inside partition.
+        assert policy.victim(state, range(2)) == 0
+        assert state[3] is True
+
+    def test_stack_positions_in_range(self):
+        policy = NRU(8)
+        state = policy.new_set_state()
+        for way in (0, 3, 5):
+            policy.touch(state, way)
+        for way in range(8):
+            assert 0 <= policy.stack_position(state, way) < 8
+
+    def test_referenced_estimated_younger(self):
+        policy = NRU(8)
+        state = policy.new_set_state()
+        policy.touch(state, 1)
+        assert policy.stack_position(state, 1) < policy.stack_position(state, 2)
+
+
+class TestTreePLRU:
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            TreePLRU(6)
+
+    def test_touch_protects_way(self):
+        policy = TreePLRU(4)
+        state = policy.new_set_state()
+        policy.touch(state, 2)
+        assert policy.victim(state, range(4)) != 2
+
+    def test_round_robin_fill(self):
+        """Touching every way in order leaves the first the oldest."""
+        policy = TreePLRU(8)
+        state = policy.new_set_state()
+        for way in range(8):
+            policy.touch(state, way)
+        assert policy.stack_position(state, 7) == 0
+
+    def test_stack_positions_in_range(self):
+        policy = TreePLRU(16)
+        state = policy.new_set_state()
+        for way in (0, 5, 9, 14):
+            policy.touch(state, way)
+        for way in range(16):
+            assert 0 <= policy.stack_position(state, way) < 16
+
+    def test_most_recent_is_mru(self):
+        policy = TreePLRU(8)
+        state = policy.new_set_state()
+        policy.touch(state, 5)
+        assert policy.stack_position(state, 5) == 0
+
+    @given(st.lists(st.integers(min_value=0, max_value=7), min_size=1, max_size=64))
+    def test_victim_never_most_recent(self, touches):
+        policy = TreePLRU(8)
+        state = policy.new_set_state()
+        for way in touches:
+            policy.touch(state, way)
+        assert policy.victim(state, range(8)) != touches[-1]
+
+    @given(st.lists(st.integers(min_value=0, max_value=7), max_size=64))
+    def test_victim_in_candidates(self, touches):
+        policy = TreePLRU(8)
+        state = policy.new_set_state()
+        for way in touches:
+            policy.touch(state, way)
+        assert policy.victim(state, range(2, 6)) in range(2, 6)
+
+
+class TestRrip:
+    def _policy(self):
+        from repro.mem.replacement import Rrip
+        return Rrip(4)
+
+    def test_make_policy_name(self):
+        from repro.mem.replacement import Rrip
+        assert isinstance(make_policy("rrip", 4), Rrip)
+
+    def test_initial_state_all_distant(self):
+        policy = self._policy()
+        assert policy.new_set_state() == [3, 3, 3, 3]
+
+    def test_hit_promotes_to_zero(self):
+        policy = self._policy()
+        state = policy.new_set_state()
+        policy.touch(state, 2)
+        assert state[2] == 0
+
+    def test_insert_long_interval(self):
+        policy = self._policy()
+        state = policy.new_set_state()
+        policy.insert(state, 1, at_mru=True)
+        assert state[1] == 2
+        policy.insert(state, 2, at_mru=False)
+        assert state[2] == 3
+
+    def test_victim_prefers_distant(self):
+        policy = self._policy()
+        state = [0, 3, 2, 1]
+        assert policy.victim(state, range(4)) == 1
+
+    def test_victim_ages_when_none_distant(self):
+        policy = self._policy()
+        state = [0, 1, 2, 2]
+        victim = policy.victim(state, range(4))
+        assert victim in (2, 3)
+        assert state[0] >= 1  # candidates aged
+
+    def test_victim_scoped_to_partition(self):
+        policy = self._policy()
+        state = [0, 0, 0, 3]
+        # Partition {0, 1}: way 3 is distant but out of bounds.
+        victim = policy.victim(state, range(2))
+        assert victim in (0, 1)
+
+    def test_stack_positions_ordered_by_rrpv(self):
+        policy = self._policy()
+        state = [0, 3, 2, 1]
+        positions = [policy.stack_position(state, w) for w in range(4)]
+        assert positions[0] < positions[3] < positions[2] < positions[1]
+
+    def test_stack_positions_in_range(self):
+        policy = self._policy()
+        state = [2, 2, 2, 2]
+        for way in range(4):
+            assert 0 <= policy.stack_position(state, way) < 4

@@ -1,0 +1,51 @@
+"""Smoke tests for the full-report generator (tiny runs)."""
+
+import pytest
+
+import repro.experiments.runner as runner
+from repro.experiments import report
+
+
+@pytest.fixture(autouse=True)
+def tiny_runs(monkeypatch):
+    monkeypatch.setattr(runner, "DEFAULT_TOTAL_ACCESSES", 1_200)
+    runner.clear_cache()
+    yield
+    runner.clear_cache()
+
+
+class TestReport:
+    def test_every_exhibit_has_a_runner(self):
+        names = [name for name, _ in report.EXPERIMENTS]
+        # The paper's 13 exhibits plus 3 ablations and 2 extensions.
+        for figure in (1, 3, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16):
+            assert f"figure{figure}" in names
+        assert "table1" in names
+        assert len(names) >= 18
+
+    def test_paper_notes_cover_paper_exhibits(self):
+        for name, _ in report.EXPERIMENTS:
+            if name.startswith(("figure", "table")):
+                assert name in report.PAPER_NOTES, name
+
+    def test_generate_report_produces_sections(self, monkeypatch):
+        # A representative subset keeps this a seconds-scale smoke test;
+        # the benchmarks exercise every exhibit at full length.
+        subset = [
+            entry for entry in report.EXPERIMENTS
+            if entry[0] in ("table1", "figure7", "figure8")
+        ]
+        monkeypatch.setattr(report, "EXPERIMENTS", subset)
+        progress = []
+        text = report.generate_report(progress=progress.append)
+        assert len(progress) == len(subset)
+        for heading in ("Figure 7", "Table 1", "Figure 8"):
+            assert heading in text
+        assert "geomean" in text
+
+    def test_main_writes_file(self, tmp_path, monkeypatch):
+        subset = [e for e in report.EXPERIMENTS if e[0] == "figure8"]
+        monkeypatch.setattr(report, "EXPERIMENTS", subset)
+        out = tmp_path / "report.md"
+        assert report.main(["report", str(out)]) == 0
+        assert "CSALT reproduction report" in out.read_text()

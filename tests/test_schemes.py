@@ -1,0 +1,37 @@
+"""Unit tests for the scheme configuration enum."""
+
+from repro.core.schemes import PartitionMode, Scheme
+
+
+class TestSchemeProperties:
+    def test_pom_backed_schemes(self):
+        assert not Scheme.CONVENTIONAL.uses_pom_tlb
+        assert not Scheme.TSB.uses_pom_tlb
+        for scheme in (
+            Scheme.POM_TLB, Scheme.CSALT_D, Scheme.CSALT_CD,
+            Scheme.CSALT_STATIC, Scheme.DIP,
+        ):
+            assert scheme.uses_pom_tlb
+
+    def test_tsb_flag(self):
+        assert Scheme.TSB.uses_tsb
+        assert not Scheme.POM_TLB.uses_tsb
+
+    def test_partition_modes(self):
+        assert Scheme.CSALT_D.partition_mode is PartitionMode.DYNAMIC
+        assert Scheme.CSALT_CD.partition_mode is PartitionMode.CRITICALITY
+        assert Scheme.CSALT_STATIC.partition_mode is PartitionMode.STATIC
+        assert Scheme.POM_TLB.partition_mode is PartitionMode.NONE
+        assert Scheme.DIP.partition_mode is PartitionMode.NONE
+
+    def test_dip_flag(self):
+        assert Scheme.DIP.uses_dip
+        assert not Scheme.CSALT_CD.uses_dip
+
+    def test_labels_unique(self):
+        labels = {scheme.label for scheme in Scheme}
+        assert len(labels) == len(list(Scheme))
+
+    def test_values_roundtrip(self):
+        for scheme in Scheme:
+            assert Scheme(scheme.value) is scheme

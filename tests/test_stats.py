@@ -1,0 +1,113 @@
+"""Unit tests for statistics containers and derived metrics."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.stats import (
+    CoreStats,
+    OccupancySample,
+    SimulationResult,
+    geometric_mean,
+)
+
+
+class TestGeometricMean:
+    def test_simple(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_empty(self):
+        assert geometric_mean([]) == 0.0
+
+    def test_ignores_nonpositive(self):
+        assert geometric_mean([0.0, 4.0]) == pytest.approx(4.0)
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=100.0), min_size=1,
+                    max_size=20))
+    def test_bounded_by_min_max(self, values):
+        mean = geometric_mean(values)
+        assert min(values) - 1e-9 <= mean <= max(values) + 1e-9
+
+
+class TestCoreStats:
+    def test_ipc(self):
+        core = CoreStats(instructions=100, cycles=50.0)
+        assert core.ipc == pytest.approx(2.0)
+        assert CoreStats().ipc == 0.0
+
+    def test_l2_tlb_mpki(self):
+        core = CoreStats(instructions=10_000, l2_tlb_misses=50)
+        assert core.l2_tlb_mpki == pytest.approx(5.0)
+        assert CoreStats().l2_tlb_mpki == 0.0
+
+
+def make_result(**overrides):
+    defaults = dict(
+        scheme="pom-tlb",
+        workload="gups",
+        per_core=[
+            CoreStats(instructions=1000, cycles=2000.0, l2_tlb_misses=20,
+                      page_walks=2),
+            CoreStats(instructions=1000, cycles=1000.0, l2_tlb_misses=30,
+                      page_walks=3),
+        ],
+        l2_cache_misses=100,
+        l2_cache_accesses=1000,
+        l3_cache_misses=40,
+        l3_cache_accesses=200,
+        l3_data_hit_rate=0.5,
+        pom_hits=45,
+        pom_misses=5,
+        walk_mean_cycles=200.0,
+        walk_count=5,
+    )
+    defaults.update(overrides)
+    return SimulationResult(**defaults)
+
+
+class TestSimulationResult:
+    def test_ipc_is_geomean_of_cores(self):
+        result = make_result()
+        assert result.ipc == pytest.approx(math.sqrt(0.5 * 1.0))
+
+    def test_aggregates(self):
+        result = make_result()
+        assert result.instructions == 2000
+        assert result.l2_tlb_misses == 50
+        assert result.page_walks == 5
+
+    def test_mpki(self):
+        result = make_result()
+        assert result.l2_tlb_mpki == pytest.approx(25.0)
+        assert result.l2_cache_mpki == pytest.approx(50.0)
+        assert result.l3_cache_mpki == pytest.approx(20.0)
+
+    def test_walks_eliminated(self):
+        result = make_result()
+        assert result.walks_eliminated_fraction == pytest.approx(0.9)
+
+    def test_walks_eliminated_no_misses(self):
+        result = make_result(per_core=[CoreStats()])
+        assert result.walks_eliminated_fraction == 0.0
+
+    def test_pom_hit_rate(self):
+        assert make_result().pom_hit_rate == pytest.approx(0.9)
+
+    def test_walk_cycles_per_l2_miss(self):
+        result = make_result()
+        assert result.walk_cycles_per_l2_miss == pytest.approx(20.0)
+
+    def test_speedup_over(self):
+        fast = make_result(per_core=[CoreStats(instructions=100, cycles=50.0)])
+        slow = make_result(per_core=[CoreStats(instructions=100, cycles=100.0)])
+        assert fast.speedup_over(slow) == pytest.approx(2.0)
+
+    def test_occupancy_means(self):
+        result = make_result(occupancy_samples=[
+            OccupancySample(0, 0.2, 0.4),
+            OccupancySample(1, 0.4, 0.8),
+        ])
+        assert result.mean_l2_tlb_occupancy == pytest.approx(0.3)
+        assert result.mean_l3_tlb_occupancy == pytest.approx(0.6)
+        assert make_result().mean_l3_tlb_occupancy == 0.0

@@ -1,0 +1,130 @@
+"""Property-based tests of whole-system invariants.
+
+These drive the full System with random access sequences and check the
+invariants that hold regardless of scheme or interleaving: translations
+agree with the page tables, physical frames never cross VM boundaries,
+TLB contents are always consistent with the tables, and statistics add
+up.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.schemes import Scheme
+from repro.mem.address import Asid, PAGE_4K_BITS
+from repro.sim.config import small_config
+from repro.sim.system import System
+
+SCHEMES = st.sampled_from([
+    Scheme.CONVENTIONAL, Scheme.POM_TLB, Scheme.CSALT_CD, Scheme.TSB,
+])
+
+#: (core, vm, page, write) tuples over a small page universe.
+access_sequences = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=1),
+        st.integers(min_value=0, max_value=1),
+        st.integers(min_value=0, max_value=24),
+        st.booleans(),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+def run_sequence(scheme, accesses, virtualized=True):
+    system = System(small_config(
+        scheme=scheme, cores=2, contexts_per_core=2, virtualized=virtualized
+    ))
+    for core, vm, page, is_write in accesses:
+        asid = Asid(vm_id=vm, process_id=0)
+        virtual_address = (page << PAGE_4K_BITS) | (page * 8 % 4096)
+        system.vms[vm].ensure_mapped(0, virtual_address)
+        system.access(core, asid, virtual_address, is_write)
+    return system
+
+
+class TestSystemInvariants:
+    @given(SCHEMES, access_sequences)
+    @settings(max_examples=25, deadline=None)
+    def test_tlb_contents_match_page_tables(self, scheme, accesses):
+        system = run_sequence(scheme, accesses)
+        for core in system.cores:
+            for tlb_set in core.l2_tlb._sets:
+                for (asid, vpn, page_bits), entry in tlb_set.items():
+                    vm = system.vms[asid.vm_id]
+                    guest = vm.guest_table(asid.process_id).lookup(
+                        vpn << page_bits
+                    )
+                    assert guest is not None
+                    if vm.native:
+                        assert entry.frame_base == guest.frame_base
+                    else:
+                        host = vm.host_table.lookup(
+                            guest.frame_base << PAGE_4K_BITS
+                        )
+                        assert entry.frame_base == host.frame_base
+
+    @given(SCHEMES, access_sequences)
+    @settings(max_examples=20, deadline=None)
+    def test_cycles_and_instructions_accumulate(self, scheme, accesses):
+        system = run_sequence(scheme, accesses)
+        per_access = 1 + system.config.nonmem_per_mem
+        total_accesses = sum(
+            core.stats.memory_accesses for core in system.cores
+        )
+        assert total_accesses == len(accesses)
+        for core in system.cores:
+            assert core.stats.instructions == (
+                core.stats.memory_accesses * per_access
+            )
+            if core.stats.memory_accesses:
+                assert core.stats.cycles > 0
+
+    @given(access_sequences)
+    @settings(max_examples=20, deadline=None)
+    def test_frames_never_cross_vm_ranges(self, accesses):
+        system = run_sequence(Scheme.POM_TLB, accesses)
+        vm_frames = (
+            system.config.vm_bytes // 4096
+        )
+        first_frame = system.config.pom_tlb_bytes // 4096
+        for vm_id, vm in enumerate(system.vms):
+            low = first_frame + vm_id * vm_frames
+            high = low + vm_frames
+            table = vm.guest_table(0)
+            for virtual_page in range(32):
+                guest = table.lookup(virtual_page << PAGE_4K_BITS)
+                if guest is None:
+                    continue
+                host = vm.host_table.lookup(guest.frame_base << PAGE_4K_BITS)
+                assert low <= host.frame_base < high
+
+    @given(SCHEMES, access_sequences)
+    @settings(max_examples=20, deadline=None)
+    def test_walks_never_exceed_l2_tlb_misses(self, scheme, accesses):
+        system = run_sequence(scheme, accesses)
+        walks = sum(core.stats.page_walks for core in system.cores)
+        misses = sum(core.stats.l2_tlb_misses for core in system.cores)
+        assert walks <= misses
+
+    @given(access_sequences)
+    @settings(max_examples=15, deadline=None)
+    def test_pom_contents_resolvable(self, accesses):
+        """Every POM-TLB entry must translate to a live host frame."""
+        system = run_sequence(Scheme.POM_TLB, accesses)
+        for pom_set in system.pom._contents.values():
+            for (asid, vpn), entry in pom_set.items():
+                vm = system.vms[asid.vm_id]
+                guest = vm.guest_table(asid.process_id).lookup(
+                    vpn << entry.page_bits
+                )
+                assert guest is not None
+
+    @given(access_sequences)
+    @settings(max_examples=15, deadline=None)
+    def test_deterministic_replay(self, accesses):
+        first = run_sequence(Scheme.CSALT_CD, accesses)
+        second = run_sequence(Scheme.CSALT_CD, accesses)
+        for a, b in zip(first.cores, second.cores):
+            assert a.stats.cycles == b.stats.cycles
+            assert a.stats.l2_tlb_misses == b.stats.l2_tlb_misses

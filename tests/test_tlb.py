@@ -1,0 +1,159 @@
+"""Unit tests for the on-chip TLBs."""
+
+import pytest
+
+from repro.mem.address import Asid, PAGE_2M_BITS, PAGE_4K_BITS
+from repro.tlb.tlb import L1TlbPair, Tlb, TlbEntry
+
+A = Asid(0, 0)
+B = Asid(1, 0)
+
+
+def entry_4k(frame=7):
+    return TlbEntry(frame_base=frame, page_bits=PAGE_4K_BITS)
+
+
+def entry_2m(frame=512):
+    return TlbEntry(frame_base=frame, page_bits=PAGE_2M_BITS)
+
+
+class TestTlb:
+    def test_miss_then_hit(self):
+        tlb = Tlb("t", 16, 4, 1)
+        assert tlb.lookup(A, 0x1234) is None
+        tlb.insert(A, 0x1234, entry_4k())
+        assert tlb.lookup(A, 0x1777) is not None  # same page
+        assert tlb.lookup(A, 0x2000) is None
+
+    def test_entries_divisible_by_ways(self):
+        with pytest.raises(ValueError):
+            Tlb("bad", 10, 4, 1)
+
+    def test_asid_isolation(self):
+        tlb = Tlb("t", 16, 4, 1)
+        tlb.insert(A, 0x1000, entry_4k())
+        assert tlb.lookup(B, 0x1000) is None
+
+    def test_unsupported_page_size_rejected(self):
+        tlb = Tlb("t", 16, 4, 1, page_bits_supported=(PAGE_4K_BITS,))
+        with pytest.raises(ValueError):
+            tlb.insert(A, 0, entry_2m())
+
+    def test_unified_holds_both_sizes(self):
+        tlb = Tlb("t", 24, 12, 1, page_bits_supported=(PAGE_4K_BITS, PAGE_2M_BITS))
+        tlb.insert(A, 0x1000, entry_4k())
+        tlb.insert(A, 0x40_0000, entry_2m())
+        assert tlb.lookup(A, 0x1000).page_bits == PAGE_4K_BITS
+        assert tlb.lookup(A, 0x40_0000).page_bits == PAGE_2M_BITS
+
+    def test_lru_eviction_within_set(self):
+        tlb = Tlb("t", 2, 2, 1)  # one set, two ways
+        tlb.insert(A, 0x0000, entry_4k(1))
+        tlb.insert(A, 0x1000, entry_4k(2))
+        tlb.lookup(A, 0x0000)  # page 0 becomes MRU
+        tlb.insert(A, 0x2000, entry_4k(3))
+        assert tlb.lookup(A, 0x1000) is None
+        assert tlb.lookup(A, 0x0000) is not None
+        assert tlb.stats.evictions == 1
+
+    def test_reinsert_updates(self):
+        tlb = Tlb("t", 4, 4, 1)
+        tlb.insert(A, 0x1000, entry_4k(1))
+        tlb.insert(A, 0x1000, entry_4k(9))
+        assert tlb.lookup(A, 0x1000).frame_base == 9
+        assert tlb.stats.insertions == 1
+
+    def test_invalidate_asid(self):
+        tlb = Tlb("t", 8, 4, 1)
+        tlb.insert(A, 0x1000, entry_4k())
+        tlb.insert(B, 0x1000, entry_4k())
+        dropped = tlb.invalidate_asid(A)
+        assert dropped == 1
+        assert tlb.lookup(A, 0x1000) is None
+        assert tlb.lookup(B, 0x1000) is not None
+
+    def test_occupancy(self):
+        tlb = Tlb("t", 8, 4, 1)
+        assert tlb.occupancy() == 0
+        tlb.insert(A, 0x1000, entry_4k())
+        assert tlb.occupancy() == pytest.approx(1 / 8)
+
+    def test_stats(self):
+        tlb = Tlb("t", 8, 4, 1)
+        tlb.lookup(A, 0)
+        tlb.insert(A, 0, entry_4k())
+        tlb.lookup(A, 0)
+        assert tlb.stats.hits == 1
+        assert tlb.stats.misses == 1
+        assert tlb.stats.miss_rate == pytest.approx(0.5)
+        tlb.reset_stats()
+        assert tlb.stats.accesses == 0
+
+
+class TestL1TlbPair:
+    def test_routes_by_page_size(self):
+        pair = L1TlbPair()
+        pair.insert(A, 0x1000, entry_4k())
+        pair.insert(A, 0x40_0000, entry_2m(frame=1024))
+        assert pair.tlb_4k.occupancy() > 0
+        assert pair.tlb_2m.occupancy() > 0
+
+    def test_lookup_checks_both(self):
+        pair = L1TlbPair()
+        pair.insert(A, 0x40_0000, entry_2m(frame=1024))
+        found = pair.lookup(A, 0x40_0123)
+        assert found is not None
+        assert found.page_bits == PAGE_2M_BITS
+
+    def test_demand_misses_counted_once(self):
+        pair = L1TlbPair()
+        pair.lookup(A, 0x1000)
+        assert pair.misses == 1
+
+    def test_hits_aggregate(self):
+        pair = L1TlbPair()
+        pair.insert(A, 0x1000, entry_4k())
+        pair.lookup(A, 0x1000)
+        assert pair.hits == 1
+
+
+class TestProbe:
+    def test_probe_does_not_touch_stats(self):
+        tlb = Tlb("t", 16, 4, 1)
+        tlb.insert(A, 0x1000, entry_4k())
+        before = (tlb.stats.hits, tlb.stats.misses)
+        assert tlb.probe(A, 0x1000) is not None
+        assert tlb.probe(A, 0x9000) is None
+        assert (tlb.stats.hits, tlb.stats.misses) == before
+
+    def test_probe_does_not_promote(self):
+        tlb = Tlb("t", 2, 2, 1)
+        tlb.insert(A, 0x0000, entry_4k(1))
+        tlb.insert(A, 0x1000, entry_4k(2))
+        tlb.probe(A, 0x0000)  # no recency update
+        tlb.insert(A, 0x2000, entry_4k(3))
+        assert tlb.probe(A, 0x0000) is None  # page 0 was still LRU
+
+
+class TestInvalidatePage:
+    def test_drops_only_target(self):
+        tlb = Tlb("t", 8, 4, 1)
+        tlb.insert(A, 0x1000, entry_4k())
+        tlb.insert(A, 0x2000, entry_4k())
+        assert tlb.invalidate_page(A, 0x1000) == 1
+        assert tlb.probe(A, 0x1000) is None
+        assert tlb.probe(A, 0x2000) is not None
+
+    def test_asid_scoped(self):
+        tlb = Tlb("t", 8, 4, 1)
+        tlb.insert(A, 0x1000, entry_4k())
+        assert tlb.invalidate_page(B, 0x1000) == 0
+        assert tlb.probe(A, 0x1000) is not None
+
+    def test_pair_invalidate_both_sizes(self):
+        pair = L1TlbPair()
+        pair.insert(A, 0x1000, entry_4k())
+        pair.insert(A, 0x0, entry_2m(frame=0))
+        dropped = pair.invalidate_page(A, 0x1000)
+        # 0x1000 falls inside both the 4K page and the 2M page.
+        assert dropped == 2

@@ -1,0 +1,108 @@
+"""Unit tests for trace recording and replay."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.workloads.programs import Gups, StreamCluster
+from repro.workloads.trace import (
+    TraceWorkload,
+    load_trace,
+    record_trace,
+    trace_info,
+)
+
+
+def take(stream, count):
+    return list(itertools.islice(stream, count))
+
+
+@pytest.fixture
+def gups_trace(tmp_path):
+    path = tmp_path / "gups.npz"
+    record_trace(Gups(table_bytes=1 << 22), path,
+                 accesses_per_thread=500, seed=3)
+    return path
+
+
+class TestRecord:
+    def test_roundtrip_matches_source(self, gups_trace):
+        workload = Gups(table_bytes=1 << 22)
+        original = take(workload.thread_stream(0, 8, seed=3), 500)
+        replay = take(TraceWorkload(gups_trace).thread_stream(0), 500)
+        assert replay == original
+
+    def test_all_threads_recorded(self, gups_trace):
+        data = load_trace(gups_trace)
+        assert int(data["num_threads"][0]) == 8
+        for thread in range(8):
+            assert len(data[f"thread{thread}_addresses"]) == 500
+
+    def test_write_flags_preserved(self, gups_trace):
+        replay = take(TraceWorkload(gups_trace).thread_stream(0), 100)
+        # gups alternates read/write to the same slot.
+        assert [w for _, w in replay[:4]] == [False, True, False, True]
+
+    def test_huge_limit_preserved(self, gups_trace):
+        assert TraceWorkload(gups_trace).huge_va_limit == 1 << 22
+
+    def test_positive_access_count_required(self, tmp_path):
+        with pytest.raises(ValueError):
+            record_trace(Gups(1 << 22), tmp_path / "x.npz",
+                         accesses_per_thread=0)
+
+
+class TestReplay:
+    def test_loops_past_end(self, gups_trace):
+        replay = take(TraceWorkload(gups_trace).thread_stream(0), 1200)
+        assert replay[:500] == replay[500:1000]
+
+    def test_seed_rotates_phase(self, gups_trace):
+        workload = TraceWorkload(gups_trace)
+        a = take(workload.thread_stream(0, 8, seed=0), 50)
+        b = take(workload.thread_stream(0, 8, seed=1), 50)
+        assert a != b
+
+    def test_thread_ids_wrap(self, gups_trace):
+        workload = TraceWorkload(gups_trace)
+        assert take(workload.thread_stream(8), 10) == take(
+            workload.thread_stream(0), 10
+        )
+
+    def test_custom_name(self, gups_trace):
+        assert TraceWorkload(gups_trace, name="mytrace").name == "mytrace"
+        assert TraceWorkload(gups_trace).name == "gups"
+
+
+class TestInfo:
+    def test_info_fields(self, gups_trace):
+        info = trace_info(gups_trace)
+        assert info.num_threads == 8
+        assert info.accesses_per_thread == 500
+        assert info.distinct_pages > 0
+
+    def test_version_check(self, tmp_path):
+        bad = tmp_path / "bad.npz"
+        np.savez(bad, version=np.array([99]))
+        with pytest.raises(ValueError, match="version"):
+            load_trace(bad)
+
+
+class TestSimulationWithTrace:
+    def test_trace_drives_simulator(self, tmp_path):
+        from repro.core.schemes import Scheme
+        from repro.sim.config import small_config
+        from repro.sim.engine import run_simulation
+
+        path = tmp_path / "stream.npz"
+        record_trace(StreamCluster.scaled(0.25), path,
+                     accesses_per_thread=800)
+        workload = TraceWorkload(path)
+        config = small_config(scheme=Scheme.POM_TLB, cores=2)
+        result = run_simulation(
+            config, [workload, TraceWorkload(path)],
+            total_accesses=2_000, warmup_fraction=0.0,
+        )
+        assert result.instructions > 0
+        assert result.ipc > 0

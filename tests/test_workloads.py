@@ -1,0 +1,193 @@
+"""Unit tests for workload generators and the mix registry."""
+
+import itertools
+
+import pytest
+
+from repro.workloads.base import REGION_4K_BASE, zipf_page_sampler
+from repro.workloads.mixes import MIXES, MIX_NAMES, make_mix, make_program
+from repro.workloads.programs import (
+    Canneal,
+    ConnectedComponent,
+    Graph500,
+    Gups,
+    PageRank,
+    StreamCluster,
+)
+
+import numpy as np
+
+
+def take(stream, count):
+    return list(itertools.islice(stream, count))
+
+
+ALL_PROGRAMS = [Gups, Graph500, PageRank, Canneal, StreamCluster,
+                ConnectedComponent]
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("cls", ALL_PROGRAMS)
+    def test_stream_is_deterministic(self, cls):
+        workload = cls.scaled(0.25)
+        first = take(workload.thread_stream(0, 8, seed=3), 200)
+        second = take(workload.thread_stream(0, 8, seed=3), 200)
+        assert first == second
+
+    @pytest.mark.parametrize("cls", ALL_PROGRAMS)
+    def test_threads_differ(self, cls):
+        workload = cls.scaled(0.25)
+        a = take(workload.thread_stream(0, 8, seed=3), 200)
+        b = take(workload.thread_stream(1, 8, seed=3), 200)
+        assert a != b
+
+    @pytest.mark.parametrize("cls", ALL_PROGRAMS)
+    def test_addresses_nonnegative_and_flagged(self, cls):
+        workload = cls.scaled(0.25)
+        for address, is_write in take(workload.thread_stream(0), 500):
+            assert address >= 0
+            assert isinstance(is_write, bool)
+
+    @pytest.mark.parametrize("cls", ALL_PROGRAMS)
+    def test_huge_region_boundary(self, cls):
+        workload = cls.scaled(0.25)
+        for address, _ in take(workload.thread_stream(0), 500):
+            if address < workload.huge_va_limit:
+                continue
+            assert address >= REGION_4K_BASE or workload.huge_va_limit > 0
+
+
+class TestGups:
+    def test_addresses_inside_table(self):
+        workload = Gups(table_bytes=1 << 22)
+        for address, _ in take(workload.thread_stream(0), 1000):
+            assert 0 <= address < 1 << 22
+
+    def test_read_modify_write_pairs(self):
+        workload = Gups(table_bytes=1 << 22)
+        accesses = take(workload.thread_stream(0), 100)
+        for read, write in zip(accesses[0::2], accesses[1::2]):
+            assert read[0] == write[0]
+            assert not read[1] and write[1]
+
+    def test_huge_limit_covers_table(self):
+        workload = Gups(table_bytes=1 << 22)
+        assert workload.huge_va_limit == 1 << 22
+
+
+class TestStreaming:
+    def test_streamcluster_sequential_progress(self):
+        workload = StreamCluster.scaled(0.25)
+        addresses = [
+            a for a, _ in take(workload.thread_stream(0), 2000)
+            if a < REGION_4K_BASE + workload.points_bytes
+        ]
+        deltas = [b - a for a, b in zip(addresses, addresses[1:])]
+        assert deltas.count(workload.stride) > len(deltas) // 2
+
+    def test_streamcluster_thread_partitions(self):
+        workload = StreamCluster.scaled(0.25)
+        span = workload.points_bytes // 8
+        for thread in (0, 3):
+            base = REGION_4K_BASE + thread * span
+            points = [
+                a for a, _ in take(workload.thread_stream(thread, 8), 500)
+                if a < REGION_4K_BASE + workload.points_bytes
+            ]
+            assert all(base <= a < base + span for a in points)
+
+    def test_graph500_mixes_vertices_and_edges(self):
+        workload = Graph500.scaled(0.25)
+        addresses = [a for a, _ in take(workload.thread_stream(0), 2000)]
+        vertex = [a for a in addresses if a < workload.vertex_bytes]
+        edges = [a for a in addresses if a >= REGION_4K_BASE]
+        assert vertex and edges
+        assert len(vertex) + len(edges) == len(addresses)
+
+
+class TestSharedHotSets:
+    def test_zipf_permutation_shared_across_threads(self):
+        rng_a = np.random.default_rng(1)
+        rng_b = np.random.default_rng(2)
+        sampler_a = zipf_page_sampler(rng_a, 1000, 1.0, perm_seed=7)
+        sampler_b = zipf_page_sampler(rng_b, 1000, 1.0, perm_seed=7)
+        # Different sampling rngs, same hot set: the most frequent items
+        # must coincide.
+        from collections import Counter
+        top_a = {x for x, _ in Counter(sampler_a(4000)).most_common(5)}
+        top_b = {x for x, _ in Counter(sampler_b(4000)).most_common(5)}
+        assert top_a & top_b
+
+    def test_ccomp_window_shared_across_threads(self):
+        workload = ConnectedComponent.scaled(0.25)
+        pages_a = {a >> 12 for a, _ in take(workload.thread_stream(0, 8, 5), 500)}
+        pages_b = {a >> 12 for a, _ in take(workload.thread_stream(1, 8, 5), 500)}
+        overlap = len(pages_a & pages_b) / max(1, min(len(pages_a), len(pages_b)))
+        assert overlap > 0.5
+
+
+class TestCcompPhases:
+    def test_window_changes_between_phases(self):
+        workload = ConnectedComponent(
+            region_bytes=1 << 24, window_pages=16,
+            process_accesses=100, generate_accesses=10, stray_fraction=0.0,
+            root_fraction=0.0,
+        )
+        accesses = take(workload.thread_stream(0), 2 * (100 + 10))
+        first_phase = {a >> 12 for a, _ in accesses[:100]}
+        second_phase = {a >> 12 for a, _ in accesses[110:210]}
+        assert first_phase != second_phase
+
+    def test_generate_phase_writes(self):
+        workload = ConnectedComponent(
+            region_bytes=1 << 24, window_pages=16,
+            process_accesses=10, generate_accesses=50, stray_fraction=0.0,
+            write_fraction=0.0, root_fraction=0.0,
+        )
+        accesses = take(workload.thread_stream(0), 60)
+        assert all(w for _, w in accesses[10:60])
+
+
+class TestRegistry:
+    def test_mix_names_match_paper_order(self):
+        assert MIX_NAMES[0] == "canneal"
+        assert "graph500_gups" in MIX_NAMES
+        assert len(MIX_NAMES) == 10
+
+    def test_single_name_means_two_instances(self):
+        workloads = make_mix("gups")
+        assert len(workloads) == 2
+        assert all(w.name == "gups" for w in workloads)
+
+    def test_hetero_mix(self):
+        vm1, vm2 = make_mix("can_ccomp")
+        assert vm1.name == "canneal"
+        assert vm2.name == "ccomp"
+
+    def test_contexts_replicate_pair(self):
+        workloads = make_mix("can_ccomp", contexts=4)
+        assert [w.name for w in workloads] == [
+            "canneal", "ccomp", "canneal", "ccomp",
+        ]
+
+    def test_one_context(self):
+        workloads = make_mix("can_ccomp", contexts=1)
+        assert [w.name for w in workloads] == ["canneal"]
+
+    def test_scale_passes_through(self):
+        small = make_mix("gups", scale=0.25)[0]
+        full = make_mix("gups")[0]
+        assert small.table_bytes < full.table_bytes
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(ValueError):
+            make_program("doom")
+        with pytest.raises(ValueError):
+            make_mix("doom")
+        with pytest.raises(ValueError):
+            make_mix("gups", contexts=0)
+
+    def test_all_mixes_buildable(self):
+        for name in MIXES:
+            workloads = make_mix(name, scale=0.25)
+            assert len(workloads) == 2
