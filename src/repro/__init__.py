@@ -29,6 +29,13 @@ from repro.sim.config import CacheConfig, SystemConfig, TlbConfig, small_config
 from repro.sim.engine import run_simulation
 from repro.sim.stats import SimulationResult, geometric_mean
 from repro.sim.system import System
+from repro.telemetry import (
+    EventTracer,
+    HostProfiler,
+    MetricsRegistry,
+    Telemetry,
+    TraceEvent,
+)
 from repro.tlb.pom_tlb import PomTlb
 from repro.tlb.tlb import Tlb, TlbEntry
 from repro.workloads.base import Workload
@@ -40,7 +47,12 @@ __version__ = "1.0.0"
 __all__ = [
     "Cache",
     "CacheConfig",
+    "EventTracer",
+    "HostProfiler",
     "LineKind",
+    "MetricsRegistry",
+    "Telemetry",
+    "TraceEvent",
     "MIXES",
     "MIX_NAMES",
     "PartitionController",

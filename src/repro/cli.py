@@ -3,7 +3,12 @@
 Commands:
 
 * ``run``    — simulate one evaluation point and print a summary
-               (optionally with a POM-TLB baseline comparison);
+               (optionally with a POM-TLB baseline comparison); can
+               export a telemetry event trace (``--trace-out``), a
+               metrics JSON (``--metrics-out``), machine-readable
+               results (``--json``) and live progress (``--progress``);
+* ``stats``  — summarize a JSONL telemetry trace, optionally converting
+               it to Chrome trace_event format for chrome://tracing;
 * ``report`` — regenerate paper exhibits (all, or a named subset);
 * ``mixes``  — list the paper's programs and VM pairings;
 * ``characterize`` — profile workloads' memory behaviour without
@@ -15,17 +20,32 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-import time
+from time import perf_counter
 from typing import List, Optional
 
 from repro.core.schemes import Scheme
 from repro.sim.config import small_config
 from repro.sim.engine import run_simulation
 from repro.sim.stats import SimulationResult
+from repro.telemetry import (
+    DEFAULT_TRACE_CAPACITY,
+    EventTracer,
+    HostProfiler,
+    MetricsRegistry,
+    Telemetry,
+)
 from repro.workloads.mixes import MIXES, MIX_NAMES, PROGRAMS, make_mix
 
 _SCHEME_BY_NAME = {scheme.value: scheme for scheme in Scheme}
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be positive, got {value}")
+    return value
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -54,6 +74,33 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--baseline", action="store_true",
                      help="also run POM-TLB and report relative IPC")
+    run.add_argument("--json", action="store_true",
+                     help="print machine-readable JSON instead of the "
+                          "human summary")
+    run.add_argument("--trace-out", default=None, metavar="PATH",
+                     help="write a JSONL telemetry event trace "
+                          "(summarize with 'repro stats')")
+    run.add_argument("--trace-capacity", type=_positive_int,
+                     default=DEFAULT_TRACE_CAPACITY, metavar="N",
+                     help="event ring-buffer capacity (oldest dropped)")
+    run.add_argument("--metrics-out", default=None, metavar="PATH",
+                     help="write the metrics registry (counters, gauges, "
+                          "latency histograms) as JSON")
+    run.add_argument("--profile", action="store_true",
+                     help="profile host wall-clock per simulator component "
+                          "(table on stderr)")
+    run.add_argument("--progress", action="store_true",
+                     help="live progress on stderr")
+
+    stats = commands.add_parser(
+        "stats", help="summarize a JSONL telemetry trace"
+    )
+    stats.add_argument("path", help="trace file written by run --trace-out")
+    stats.add_argument("--chrome-out", default=None, metavar="PATH",
+                       help="also write Chrome trace_event JSON "
+                            "(open in chrome://tracing or Perfetto)")
+    stats.add_argument("--json", action="store_true",
+                       help="print the summary as JSON")
 
     report = commands.add_parser(
         "report", help="regenerate paper exhibits (DESIGN.md section 6)"
@@ -114,6 +161,19 @@ def _print_result(result: SimulationResult,
     print(f"context switches  : {switches}")
 
 
+def _build_telemetry(args: argparse.Namespace) -> Optional[Telemetry]:
+    """A Telemetry bundle holding exactly the sinks the flags asked for."""
+    want_trace = args.trace_out is not None
+    want_metrics = args.metrics_out is not None
+    if not (want_trace or want_metrics or args.profile):
+        return None
+    return Telemetry(
+        tracer=EventTracer(args.trace_capacity) if want_trace else None,
+        metrics=MetricsRegistry() if want_metrics else None,
+        profiler=HostProfiler() if args.profile else None,
+    )
+
+
 def _command_run(args: argparse.Namespace) -> int:
     scheme = _SCHEME_BY_NAME[args.scheme]
     config = small_config(
@@ -124,11 +184,18 @@ def _command_run(args: argparse.Namespace) -> int:
         page_table_levels=args.levels,
     )
     workloads = make_mix(args.mix, contexts=args.contexts, scale=0.25)
-    started = time.time()
+    telemetry = _build_telemetry(args)
+    progress = None
+    if args.progress:
+        def progress(update):
+            print(f"\r{update.format()}", end="", file=sys.stderr, flush=True)
+    started = perf_counter()
     result = run_simulation(
         config, workloads, total_accesses=args.accesses, seed=args.seed,
-        workload_name=args.mix,
+        workload_name=args.mix, telemetry=telemetry, progress=progress,
     )
+    if args.progress:
+        print(file=sys.stderr)
     baseline = None
     if args.baseline and scheme is not Scheme.POM_TLB:
         baseline = run_simulation(
@@ -137,8 +204,66 @@ def _command_run(args: argparse.Namespace) -> int:
             total_accesses=args.accesses, seed=args.seed,
             workload_name=args.mix,
         )
-    _print_result(result, baseline)
-    print(f"(simulated in {time.time() - started:.1f}s)")
+    elapsed = perf_counter() - started
+
+    if args.trace_out:
+        written = telemetry.tracer.write_jsonl(args.trace_out)
+        note = (
+            f" ({telemetry.tracer.dropped} older events dropped by the ring)"
+            if telemetry.tracer.dropped else ""
+        )
+        print(f"wrote {written} events to {args.trace_out}{note}",
+              file=sys.stderr)
+    if args.metrics_out:
+        extra = {
+            "run": {
+                "mix": args.mix,
+                "scheme": args.scheme,
+                "accesses": args.accesses,
+                "seed": args.seed,
+            }
+        }
+        if telemetry.profiler is not None:
+            extra["host_profile"] = telemetry.profiler.report()
+        telemetry.metrics.write_json(args.metrics_out, extra=extra)
+        print(f"wrote metrics to {args.metrics_out}", file=sys.stderr)
+    if args.profile:
+        print(telemetry.profiler.format(), file=sys.stderr)
+
+    if args.json:
+        document = {
+            "result": result.to_dict(),
+            "elapsed_seconds": elapsed,
+        }
+        if baseline is not None:
+            document["baseline"] = baseline.to_dict()
+            document["speedup_over_baseline"] = result.speedup_over(baseline)
+        if telemetry is not None and telemetry.profiler is not None:
+            document["host_profile"] = telemetry.profiler.report()
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        _print_result(result, baseline)
+        print(f"(simulated in {elapsed:.1f}s)")
+    return 0
+
+
+def _command_stats(args: argparse.Namespace) -> int:
+    from repro.telemetry import read_events, summarize_events, write_chrome_trace
+
+    try:
+        events = read_events(args.path)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    summary = summarize_events(events)
+    if args.json:
+        print(json.dumps(summary.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(summary.format())
+    if args.chrome_out:
+        write_chrome_trace(events, args.chrome_out)
+        print(f"wrote Chrome trace to {args.chrome_out} "
+              "(open in chrome://tracing)", file=sys.stderr)
     return 0
 
 
@@ -236,6 +361,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "run":
         return _command_run(args)
+    if args.command == "stats":
+        return _command_stats(args)
     if args.command == "report":
         return _command_report(args)
     if args.command == "mixes":

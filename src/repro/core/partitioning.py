@@ -14,10 +14,14 @@ decisions used to reproduce Figure 9.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
 
 from repro.core.stack_distance import ProfilerPair
 from repro.mem.cache import Cache, LineKind
+from repro.telemetry.events import EVENT_PARTITION
+
+if TYPE_CHECKING:
+    from repro.telemetry import Telemetry
 
 #: Paper default: repartition every 256K cache accesses (Section 5.3).
 DEFAULT_EPOCH_ACCESSES = 256_000
@@ -179,6 +183,10 @@ class PartitionController:
         sample_shift: int = 4,
         estimate_positions: bool = False,
         initial_data_ways: Optional[int] = None,
+        telemetry: Optional["Telemetry"] = None,
+        clock: Optional[Callable[[], float]] = None,
+        label: str = "",
+        core_id: int = -1,
     ):
         if epoch_accesses < 1:
             raise ValueError("epoch length must be positive")
@@ -190,6 +198,22 @@ class PartitionController:
         self._accesses_in_epoch = 0
         self.total_accesses = 0
         self.timeline: List[PartitionDecision] = []
+        #: Telemetry sink plus a simulated-cycle clock for event stamps
+        #: (falls back to the access count when no clock is wired).
+        self._telemetry = telemetry
+        self._clock = clock
+        self.label = label or cache.name
+        self._core_id = core_id
+        self._decision_counter = None
+        self._tlb_fraction_gauge = None
+        if telemetry is not None and telemetry.metrics is not None:
+            self._decision_counter = telemetry.metrics.counter(
+                "partition.decisions"
+            )
+            self._tlb_fraction_gauge = telemetry.metrics.gauge(
+                f"partition.{self.label}.tlb_fraction",
+                lambda: self.timeline[-1].tlb_fraction if self.timeline else 0.0,
+            )
         start = initial_data_ways if initial_data_ways is not None else cache.ways // 2
         cache.set_partition(start)
         self._record_decision(start, 1.0, 1.0)
@@ -214,6 +238,13 @@ class PartitionController:
 
     def repartition(self) -> int:
         """Epoch boundary: Algorithm 1 (+ weights) then install the split."""
+        tel = self._telemetry
+        if tel is not None and tel.profiler is not None:
+            with tel.profiler.scope("partition"):
+                return self._repartition()
+        return self._repartition()
+
+    def _repartition(self) -> int:
         weight_data, weight_tlb = self.weight_provider()
         data_ways = best_partition(
             self.profilers.data.counters,
@@ -231,15 +262,33 @@ class PartitionController:
     def _record_decision(
         self, data_ways: int, weight_data: float, weight_tlb: float
     ) -> None:
-        self.timeline.append(
-            PartitionDecision(
-                access_count=self.total_accesses,
-                data_ways=data_ways,
-                tlb_ways=self.cache.ways - data_ways,
+        decision = PartitionDecision(
+            access_count=self.total_accesses,
+            data_ways=data_ways,
+            tlb_ways=self.cache.ways - data_ways,
+            weight_data=weight_data,
+            weight_tlb=weight_tlb,
+        )
+        self.timeline.append(decision)
+        tel = self._telemetry
+        if tel is not None:
+            cycles = (
+                self._clock() if self._clock is not None
+                else float(self.total_accesses)
+            )
+            tel.emit(
+                EVENT_PARTITION,
+                cycles,
+                self._core_id,
+                label=self.label,
+                data_ways=decision.data_ways,
+                tlb_ways=decision.tlb_ways,
+                tlb_fraction=decision.tlb_fraction,
                 weight_data=weight_data,
                 weight_tlb=weight_tlb,
             )
-        )
+            if self._decision_counter is not None:
+                self._decision_counter.inc()
 
     @property
     def current_data_ways(self) -> int:

@@ -10,6 +10,7 @@ switches happen on the configured cycle quantum.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, List, Optional
 
 from repro.mem.address import Asid
@@ -17,6 +18,8 @@ from repro.sim.config import SystemConfig
 from repro.sim.scheduler import Context, ContextScheduler
 from repro.sim.stats import SimulationResult
 from repro.sim.system import System
+from repro.telemetry import Telemetry
+from repro.telemetry.profiling import ProgressUpdate
 from repro.workloads.base import Workload
 
 #: Accesses each core executes before the round-robin moves on.
@@ -57,6 +60,9 @@ def run_simulation(
     workload_name: Optional[str] = None,
     warmup_fraction: float = 0.25,
     system_setup: Optional[Callable[[System], None]] = None,
+    telemetry: Optional[Telemetry] = None,
+    progress: Optional[Callable[[ProgressUpdate], None]] = None,
+    progress_every: Optional[int] = None,
 ) -> SimulationResult:
     """Simulate ``total_accesses`` memory references across all cores.
 
@@ -68,6 +74,13 @@ def run_simulation(
     ``system_setup`` is called on the freshly built :class:`System` before
     any access runs — the hook ablation studies use to disable or alter
     individual structures.
+
+    ``telemetry`` wires a :class:`~repro.telemetry.Telemetry` sink bundle
+    through the whole machine (event trace, metrics registry, host
+    profiler); ``None`` (the default) leaves every hook a no-op.
+    ``progress`` is invoked with a
+    :class:`~repro.telemetry.ProgressUpdate` every ``progress_every``
+    accesses (default: ~5% of the run) and once more at completion.
     """
     if len(workloads) != config.num_vms:
         raise ValueError(
@@ -77,11 +90,13 @@ def run_simulation(
         raise ValueError("total_accesses must be positive")
     if not 0.0 <= warmup_fraction < 1.0:
         raise ValueError("warmup_fraction must be in [0, 1)")
-    system = System(config)
+    system = System(config, telemetry=telemetry)
     if system_setup is not None:
         system_setup(system)
     scheduler = ContextScheduler(
-        build_contexts(system, workloads, seed), config.switch_interval_cycles
+        build_contexts(system, workloads, seed),
+        config.switch_interval_cycles,
+        telemetry=telemetry,
     )
     sample_every = max(_CORE_BATCH * config.cores, total_accesses // max(
         1, occupancy_samples
@@ -90,6 +105,10 @@ def run_simulation(
     next_sample = sample_every
     warmup_end = int(total_accesses * warmup_fraction)
     warm = warmup_end > 0
+    run_started = time.perf_counter()
+    if progress is not None and progress_every is None:
+        progress_every = max(_CORE_BATCH * config.cores, total_accesses // 20)
+    next_progress = progress_every if progress is not None else None
     while executed < total_accesses:
         for core_id in range(config.cores):
             context = scheduler.current(core_id)
@@ -111,8 +130,19 @@ def run_simulation(
         if executed >= next_sample:
             system.sample_occupancy()
             next_sample += sample_every
+        if next_progress is not None and executed >= next_progress:
+            progress(ProgressUpdate(
+                executed, total_accesses, time.perf_counter() - run_started
+            ))
+            next_progress += progress_every
+    elapsed = time.perf_counter() - run_started
+    if progress is not None:
+        progress(ProgressUpdate(executed, total_accesses, elapsed))
+    if telemetry is not None and telemetry.profiler is not None:
+        telemetry.profiler.add("engine.run", elapsed)
     name = workload_name or "+".join(w.name for w in workloads)
     result = system.result(name)
     result.extra["context_switches"] = float(scheduler.switches)
     result.extra["seed"] = float(seed)
+    result.extra["host_seconds"] = elapsed
     return result

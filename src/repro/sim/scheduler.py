@@ -10,9 +10,11 @@ pure capacity competition, which is the effect under study.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List, Set, Tuple
+from typing import Iterator, List, Optional, Set, Tuple
 
 from repro.mem.address import Asid, PAGE_4K_BITS
+from repro.telemetry import Telemetry
+from repro.telemetry.events import EVENT_SWITCH
 from repro.vm.walker import VirtualMachine
 
 
@@ -50,6 +52,7 @@ class ContextScheduler:
         self,
         per_core_contexts: List[List[Context]],
         switch_interval_cycles: int,
+        telemetry: Optional[Telemetry] = None,
     ):
         if switch_interval_cycles < 1:
             raise ValueError("switch interval must be positive")
@@ -60,6 +63,7 @@ class ContextScheduler:
         self._active = [0] * len(per_core_contexts)
         self._next_switch = [float(switch_interval_cycles)] * len(per_core_contexts)
         self.switches = 0
+        self._telemetry = telemetry
 
     def current(self, core_id: int) -> Context:
         return self._contexts[core_id][self._active[core_id]]
@@ -72,6 +76,15 @@ class ContextScheduler:
         if len(contexts) > 1:
             self._active[core_id] = (self._active[core_id] + 1) % len(contexts)
             self.switches += 1
+            if self._telemetry is not None:
+                incoming = contexts[self._active[core_id]]
+                self._telemetry.emit(
+                    EVENT_SWITCH,
+                    core_cycles,
+                    core_id,
+                    context=self._active[core_id],
+                    vm=incoming.asid.vm_id,
+                )
         self._next_switch[core_id] = core_cycles + self.switch_interval_cycles
         return len(contexts) > 1
 

@@ -18,6 +18,7 @@ The paper's metrics, and where they come from here:
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
@@ -45,10 +46,42 @@ class CoreStats:
             return 0.0
         return 1000.0 * self.l2_tlb_misses / self.instructions
 
+    def to_dict(self) -> Dict[str, float]:
+        """Raw counters plus the derived per-core rates."""
+        return {
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "memory_accesses": self.memory_accesses,
+            "translation_stall_cycles": self.translation_stall_cycles,
+            "data_stall_cycles": self.data_stall_cycles,
+            "l1_tlb_misses": self.l1_tlb_misses,
+            "l2_tlb_misses": self.l2_tlb_misses,
+            "page_walks": self.page_walks,
+            "ipc": self.ipc,
+            "l2_tlb_mpki": self.l2_tlb_mpki,
+        }
+
 
 def geometric_mean(values: List[float]) -> float:
-    """Geometric mean, tolerant of empty input (returns 0)."""
+    """Geometric mean over the *positive* inputs.
+
+    Zero or negative values have no logarithm, so they are **silently
+    excluded from the mean** — the result is the geometric mean of the
+    positive subset only, which matches how the paper aggregates per-core
+    IPC (a core that executed nothing contributes no IPC sample).  When
+    any value is dropped a :class:`RuntimeWarning` is emitted so callers
+    aggregating over dead cores notice.  Empty input (or input with no
+    positive values) returns 0.
+    """
     positive = [v for v in values if v > 0]
+    dropped = len(values) - len(positive)
+    if dropped:
+        warnings.warn(
+            f"geometric_mean dropped {dropped} non-positive value(s) "
+            f"out of {len(values)}; the mean covers the positive subset only",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     if not positive:
         return 0.0
     return math.exp(sum(math.log(v) for v in positive) / len(positive))
@@ -61,6 +94,13 @@ class OccupancySample:
     access_count: int
     l2_tlb_fraction: float
     l3_tlb_fraction: float
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "access_count": self.access_count,
+            "l2_tlb_fraction": self.l2_tlb_fraction,
+            "l3_tlb_fraction": self.l3_tlb_fraction,
+        }
 
 
 @dataclass
@@ -160,3 +200,50 @@ class SimulationResult:
         if baseline.ipc == 0:
             return 0.0
         return self.ipc / baseline.ipc
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready snapshot: the one schema experiments, ``repro run
+        --json`` and external tools consume.
+
+        Contains the raw per-core counters, every derived paper metric,
+        the occupancy samples and partition timelines, and the ``extra``
+        grab-bag — everything needed to rebuild any exhibit offline.
+        """
+        return {
+            "scheme": self.scheme,
+            "workload": self.workload,
+            "instructions": self.instructions,
+            "ipc": self.ipc,
+            "l2_tlb_misses": self.l2_tlb_misses,
+            "l2_tlb_mpki": self.l2_tlb_mpki,
+            "l2_cache_misses": self.l2_cache_misses,
+            "l2_cache_accesses": self.l2_cache_accesses,
+            "l2_cache_mpki": self.l2_cache_mpki,
+            "l3_cache_misses": self.l3_cache_misses,
+            "l3_cache_accesses": self.l3_cache_accesses,
+            "l3_cache_mpki": self.l3_cache_mpki,
+            "l3_data_hit_rate": self.l3_data_hit_rate,
+            "pom_hits": self.pom_hits,
+            "pom_misses": self.pom_misses,
+            "pom_hit_rate": self.pom_hit_rate,
+            "page_walks": self.page_walks,
+            "walk_count": self.walk_count,
+            "walk_mean_cycles": self.walk_mean_cycles,
+            "walk_cycles_per_l2_miss": self.walk_cycles_per_l2_miss,
+            "walks_eliminated_fraction": self.walks_eliminated_fraction,
+            "mean_l2_tlb_occupancy": self.mean_l2_tlb_occupancy,
+            "mean_l3_tlb_occupancy": self.mean_l3_tlb_occupancy,
+            "per_core": [core.to_dict() for core in self.per_core],
+            "occupancy_samples": [
+                sample.to_dict() for sample in self.occupancy_samples
+            ],
+            "l2_partition_timeline": [
+                [count, fraction]
+                for count, fraction in self.l2_partition_timeline
+            ],
+            "l3_partition_timeline": [
+                [count, fraction]
+                for count, fraction in self.l3_partition_timeline
+            ],
+            "extra": dict(self.extra),
+        }

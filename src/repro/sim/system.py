@@ -30,6 +30,13 @@ from repro.mem.dram import DDR4_2133, DIE_STACKED, DramChannel
 from repro.mem.mshr import MshrModel
 from repro.sim.config import SystemConfig
 from repro.sim.stats import CoreStats, OccupancySample, SimulationResult
+from repro.telemetry import Telemetry
+from repro.telemetry.events import (
+    EVENT_POM_LOOKUP,
+    EVENT_SHOOTDOWN,
+    EVENT_TLB_MISS,
+    EVENT_WALK,
+)
 from repro.tlb.pom_tlb import PageSizePredictor, PomTlb
 from repro.tlb.prefetch import SequentialTlbPrefetcher
 from repro.tlb.tlb import L1TlbPair, Tlb, TlbEntry
@@ -61,9 +68,17 @@ class CoreState:
 class System:
     """The simulated 8-core machine, configured by :class:`SystemConfig`."""
 
-    def __init__(self, config: SystemConfig):
+    def __init__(
+        self, config: SystemConfig, telemetry: Optional[Telemetry] = None
+    ):
         self.config = config
         self.scheme = config.scheme
+        #: Optional telemetry sink bundle; ``None`` keeps every hook a
+        #: single ``is None`` check (tier-1 timing unaffected).
+        self.telemetry = telemetry
+        self._profiler = telemetry.profiler if telemetry is not None else None
+        self._walk_hist = None
+        self._pom_hit_hist = None
         self.host_memory = HostPhysicalMemory(
             num_vms=config.num_vms,
             vm_bytes=config.vm_bytes,
@@ -113,6 +128,10 @@ class System:
         self._last_walk_latency = 0
         # Which level served TLB-kind references (probe locality analysis).
         self.tlb_ref_levels = {"l2": 0, "l3": 0, "dram": 0}
+        if telemetry is not None and telemetry.metrics is not None:
+            self._register_metrics(telemetry.metrics)
+        if self._profiler is not None:
+            self._install_profiler_wrappers()
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -159,13 +178,13 @@ class System:
             psc_config=cfg.psc,
             levels=cfg.page_table_levels,
         )
-        core.l2_controller = self._build_controller(l2, "l2")
+        core.l2_controller = self._build_controller(l2, "l2", core)
         if self._prefetch_enabled:
             core.prefetcher = SequentialTlbPrefetcher()
         return core
 
     def _build_controller(
-        self, cache: Cache, level: str
+        self, cache: Cache, level: str, core: Optional[CoreState] = None
     ) -> Optional[PartitionController]:
         mode = self.scheme.partition_mode
         if mode not in (PartitionMode.DYNAMIC, PartitionMode.CRITICALITY):
@@ -182,13 +201,93 @@ class System:
             weight_provider = estimator.weights
         else:
             weight_provider = unit_weights
+        if core is not None:
+            label = f"core{core.core_id}.l2"
+            core_id = core.core_id
+            clock = lambda _core=core: _core.stats.cycles
+        else:
+            label = level
+            core_id = -1
+            clock = self._max_cycles
         return PartitionController(
             cache,
             epoch_accesses=self.config.epoch_accesses,
             weight_provider=weight_provider,
             sample_shift=self.config.sample_shift,
             estimate_positions=self.config.estimate_positions,
+            telemetry=self.telemetry,
+            clock=clock,
+            label=label,
+            core_id=core_id,
         )
+
+    def _max_cycles(self) -> float:
+        """System-wide timestamp: the furthest-ahead core clock."""
+        return max(core.stats.cycles for core in self.cores)
+
+    # ------------------------------------------------------------------
+    # Telemetry wiring
+    # ------------------------------------------------------------------
+    def _register_metrics(self, metrics) -> None:
+        """Register this machine's instruments into the metrics registry."""
+        self._walk_hist = metrics.histogram("walker.latency_cycles")
+        if self.pom is not None:
+            self._pom_hit_hist = metrics.histogram("pom.hit_latency_cycles")
+            self.pom.register_metrics(metrics, "pom")
+        self.l3.register_metrics(metrics, "cache.l3")
+        self.ddr.register_metrics(metrics, "dram.ddr")
+        self.die_stacked.register_metrics(metrics, "dram.die_stacked")
+        for core in self.cores:
+            prefix = f"core{core.core_id}"
+            core.l1d.register_metrics(metrics, f"{prefix}.l1d")
+            core.l2.register_metrics(metrics, f"{prefix}.l2")
+            core.walker.register_metrics(metrics, f"{prefix}.walker")
+            # Bind through the CoreState: ``core.stats`` is replaced on
+            # reset_stats, so the callbacks must dereference lazily.
+            metrics.gauge(
+                f"{prefix}.instructions", lambda _c=core: _c.stats.instructions
+            )
+            metrics.gauge(f"{prefix}.cycles", lambda _c=core: _c.stats.cycles)
+            metrics.gauge(
+                f"{prefix}.l1_tlb_misses",
+                lambda _c=core: _c.stats.l1_tlb_misses,
+            )
+            metrics.gauge(
+                f"{prefix}.l2_tlb_misses",
+                lambda _c=core: _c.stats.l2_tlb_misses,
+            )
+            metrics.gauge(
+                f"{prefix}.page_walks", lambda _c=core: _c.stats.page_walks
+            )
+
+    def _install_profiler_wrappers(self) -> None:
+        """Route hot datapath methods through host-profiler scopes.
+
+        Installed as instance attributes only when profiling is on, so
+        the disabled path pays no extra call or check.  Scope times are
+        inclusive: ``walker`` contains the ``cache``/``dram`` time its
+        memory references trigger.
+        """
+        prof = self._profiler
+        mem_from_l2 = self._mem_from_l2
+        dram_access = self._dram_access
+        translate_via_pom = self._translate_via_pom
+
+        def profiled_mem(core, address, kind, is_write):
+            with prof.scope("cache"):
+                return mem_from_l2(core, address, kind, is_write)
+
+        def profiled_dram(address):
+            with prof.scope("dram"):
+                return dram_access(address)
+
+        def profiled_pom(core, asid, virtual_address):
+            with prof.scope("pom"):
+                return translate_via_pom(core, asid, virtual_address)
+
+        self._mem_from_l2 = profiled_mem
+        self._dram_access = profiled_dram
+        self._translate_via_pom = profiled_pom
 
     def _apply_static_partition(self) -> None:
         if self.scheme.partition_mode is not PartitionMode.STATIC:
@@ -299,17 +398,39 @@ class System:
     def _walk(self, core: CoreState, asid: Asid, virtual_address: int) -> TlbEntry:
         vm = self.vms[asid.vm_id]
         core.stats.page_walks += 1
-        if vm.native:
-            result = core.walker.walk_native(
-                asid, vm.guest_table(asid.process_id), virtual_address
-            )
+        prof = self._profiler
+        if prof is not None:
+            with prof.scope("walker"):
+                result = self._do_walk(core, vm, asid, virtual_address)
         else:
-            result = core.walker.walk_virtualized(asid, vm, virtual_address)
+            result = self._do_walk(core, vm, asid, virtual_address)
+        tel = self.telemetry
+        if tel is not None:
+            if tel.tracer is not None:
+                tel.tracer.emit(
+                    EVENT_WALK,
+                    core.stats.cycles,
+                    core.core_id,
+                    duration=float(result.latency),
+                    refs=result.memory_refs,
+                    virtualized=not vm.native,
+                )
+            if self._walk_hist is not None:
+                self._walk_hist.record(result.latency)
         self._last_walk_latency = result.latency
         return TlbEntry(
             frame_base=result.translation.frame_base,
             page_bits=result.translation.page_bits,
         )
+
+    def _do_walk(
+        self, core: CoreState, vm: VirtualMachine, asid: Asid, virtual_address: int
+    ):
+        if vm.native:
+            return core.walker.walk_native(
+                asid, vm.guest_table(asid.process_id), virtual_address
+            )
+        return core.walker.walk_virtualized(asid, vm, virtual_address)
 
     def _translate_via_pom(
         self, core: CoreState, asid: Asid, virtual_address: int
@@ -329,6 +450,20 @@ class System:
                 hit_bits = page_bits
                 break
         pom.record_outcome(asid, entry is not None, hit_bits, probes)
+        tel = self.telemetry
+        if tel is not None:
+            hit = entry is not None
+            if tel.tracer is not None:
+                tel.tracer.emit(
+                    EVENT_POM_LOOKUP,
+                    core.stats.cycles,
+                    core.core_id,
+                    hit=hit,
+                    probes=probes,
+                    latency=latency,
+                )
+            if hit and self._pom_hit_hist is not None:
+                self._pom_hit_hist.record(latency)
         if entry is not None:
             if core.prefetcher is not None:
                 self._maybe_prefetch(core, asid, virtual_address, entry.page_bits)
@@ -494,6 +629,10 @@ class System:
             core.l1_tlb.insert(asid, virtual_address, entry)
             return latency, entry
         core.stats.l2_tlb_misses += 1
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                EVENT_TLB_MISS, core.stats.cycles, core.core_id, level="l2"
+            )
         if self.scheme.uses_pom_tlb:
             extra, entry = self._translate_via_pom(core, asid, virtual_address)
         elif self.scheme.uses_tsb:
@@ -562,6 +701,14 @@ class System:
             core.stats.cycles += self.SHOOTDOWN_CYCLES_PER_CORE
         if self.pom is not None:
             dropped += self.pom.invalidate(asid, virtual_address)
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                EVENT_SHOOTDOWN,
+                self._max_cycles(),
+                dropped=dropped,
+                vm=asid.vm_id,
+                process=asid.process_id,
+            )
         return dropped
 
     def remap_page(self, asid: Asid, virtual_address: int) -> None:
@@ -600,6 +747,18 @@ class System:
         self.occupancy_samples.clear()
         self._total_accesses = 0
         self.tlb_ref_levels = {"l2": 0, "l3": 0, "dram": 0}
+        # Warmup boundary: drop warmup-era events so the exported trace
+        # covers the measured region with monotone per-core timestamps.
+        # Metric counters/histograms are deliberately NOT reset: page
+        # walks concentrate in warmup (steady state mostly hits the
+        # POM-TLB), and the walk/POM latency distributions are machine
+        # properties worth keeping.  Callback gauges read the component
+        # stats live, so they reflect the measured region regardless.
+        # The host profiler keeps running too — it measures *host*
+        # performance, for which warmup work is just as real.
+        tel = self.telemetry
+        if tel is not None and tel.tracer is not None:
+            tel.tracer.clear()
 
     def sample_occupancy(self) -> OccupancySample:
         """Scan L2/L3 contents for the Figure 3 occupancy metric."""

@@ -1,0 +1,132 @@
+"""Telemetry: structured event tracing, metrics, and host profiling.
+
+The subsystem has three independent sinks bundled by :class:`Telemetry`:
+
+* an :class:`~repro.telemetry.events.EventTracer` — bounded ring of
+  typed, cycle-stamped simulator events (JSONL / chrome://tracing);
+* a :class:`~repro.telemetry.metrics.MetricsRegistry` — hierarchical
+  counters, gauges and log-scale histograms components register into;
+* a :class:`~repro.telemetry.profiling.HostProfiler` — wall-clock
+  scopes around the simulator's own code paths.
+
+Design rule: **disabled telemetry costs one ``is None`` check** at each
+hook site.  Components hold ``telemetry=None`` by default and guard
+every hook with a single ``if``; no sink objects exist unless asked for.
+
+Usage::
+
+    from repro.telemetry import Telemetry
+
+    telemetry = Telemetry.enabled(profile=True)
+    result = run_simulation(config, workloads, telemetry=telemetry)
+    telemetry.tracer.write_jsonl("run.trace.jsonl")
+    telemetry.metrics.write_json("metrics.json")
+    print(telemetry.profiler.format())
+
+See ``docs/observability.md`` for the event schema and metric names.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.telemetry.events import (
+    DEFAULT_TRACE_CAPACITY,
+    EVENT_PARTITION,
+    EVENT_POM_LOOKUP,
+    EVENT_SHOOTDOWN,
+    EVENT_SWITCH,
+    EVENT_TLB_MISS,
+    EVENT_WALK,
+    SYSTEM_CORE,
+    EventTracer,
+    TraceEvent,
+    chrome_trace,
+    read_events,
+    write_chrome_trace,
+)
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.profiling import HostProfiler, ProgressUpdate
+from repro.telemetry.summary import TraceSummary, summarize_events
+
+__all__ = [
+    "Counter",
+    "DEFAULT_TRACE_CAPACITY",
+    "EVENT_PARTITION",
+    "EVENT_POM_LOOKUP",
+    "EVENT_SHOOTDOWN",
+    "EVENT_SWITCH",
+    "EVENT_TLB_MISS",
+    "EVENT_WALK",
+    "EventTracer",
+    "Gauge",
+    "Histogram",
+    "HostProfiler",
+    "MetricsRegistry",
+    "ProgressUpdate",
+    "SYSTEM_CORE",
+    "Telemetry",
+    "TraceEvent",
+    "TraceSummary",
+    "chrome_trace",
+    "read_events",
+    "summarize_events",
+    "write_chrome_trace",
+]
+
+
+class Telemetry:
+    """The sink bundle components are wired with.
+
+    Any of the three sinks may be ``None``; hook sites check the sink
+    they need.  Construct directly for fine control or use
+    :meth:`enabled` for the common all-on case.
+    """
+
+    __slots__ = ("tracer", "metrics", "profiler")
+
+    def __init__(
+        self,
+        tracer: Optional[EventTracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        profiler: Optional[HostProfiler] = None,
+    ):
+        self.tracer = tracer
+        self.metrics = metrics
+        self.profiler = profiler
+
+    @classmethod
+    def enabled(
+        cls,
+        trace: bool = True,
+        metrics: bool = True,
+        profile: bool = False,
+        trace_capacity: int = DEFAULT_TRACE_CAPACITY,
+    ) -> "Telemetry":
+        return cls(
+            tracer=EventTracer(trace_capacity) if trace else None,
+            metrics=MetricsRegistry() if metrics else None,
+            profiler=HostProfiler() if profile else None,
+        )
+
+    # ------------------------------------------------------------------
+    def emit(
+        self,
+        name: str,
+        cycles: float,
+        core: int = SYSTEM_CORE,
+        duration: float = 0.0,
+        **args: object,
+    ) -> None:
+        """Emit a trace event if tracing is on (no-op otherwise)."""
+        if self.tracer is not None:
+            self.tracer.emit(name, cycles, core, duration, **args)
+
+    def reset(self) -> None:
+        """Clear all sinks (warmup boundary: see ``System.reset_stats``)."""
+        if self.tracer is not None:
+            self.tracer.clear()
+        if self.metrics is not None:
+            self.metrics.reset()
+        if self.profiler is not None:
+            self.profiler.reset()

@@ -1,0 +1,218 @@
+"""Hierarchical metrics registry: counters, gauges and log-scale histograms.
+
+Components register named instruments instead of growing ad-hoc ivars:
+
+* :class:`Counter` — a monotonically increasing count, incremented on
+  the hot path (one attribute add);
+* :class:`Gauge` — a point-in-time value, either set explicitly or
+  backed by a zero-argument callback evaluated at export time (the
+  preferred form: existing component stats become metrics with no
+  hot-path cost at all);
+* :class:`Histogram` — a log2-bucketed distribution for latency-style
+  values spanning orders of magnitude (walk latency, POM hit latency).
+
+Names are dotted paths (``core0.walker.latency_cycles``); ``to_dict``
+nests them into a hierarchy for the exported JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, List, Optional
+
+
+class Counter:
+    """Monotonic event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def snapshot(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """Point-in-time value; callback-backed gauges read at export time."""
+
+    __slots__ = ("name", "_value", "fn")
+
+    def __init__(self, name: str, fn: Optional[Callable[[], float]] = None):
+        self.name = name
+        self._value = 0.0
+        self.fn = fn
+
+    def set(self, value: float) -> None:
+        if self.fn is not None:
+            raise RuntimeError(f"gauge {self.name} is callback-backed")
+        self._value = value
+
+    @property
+    def value(self) -> float:
+        return self.fn() if self.fn is not None else self._value
+
+    def reset(self) -> None:
+        if self.fn is None:
+            self._value = 0.0
+
+    def snapshot(self) -> float:
+        return float(self.value)
+
+
+class Histogram:
+    """Log2-bucketed distribution.
+
+    Bucket ``i`` counts samples with ``2**(i-1) < value <= 2**i``
+    (bucket 0 holds values <= 1, including non-positive ones).  This
+    gives ~1-bit resolution over any range at a fixed, tiny footprint —
+    right for latencies spanning an L2 hit (12 cycles) to a cold nested
+    walk (>1000 cycles).
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_buckets")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._buckets: Dict[int, int] = {}
+
+    def record(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        index = max(0, (int(value) - 1).bit_length()) if value > 0 else 0
+        self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def buckets(self) -> Dict[str, int]:
+        """Bucket counts keyed by inclusive upper bound (``"le_2^i"``)."""
+        return {
+            f"le_{1 << index}": self._buckets[index]
+            for index in sorted(self._buckets)
+        }
+
+    def percentile(self, fraction: float) -> float:
+        """Approximate percentile: the upper bound of the covering bucket."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        if not self.count:
+            return 0.0
+        target = fraction * self.count
+        seen = 0
+        for index in sorted(self._buckets):
+            seen += self._buckets[index]
+            if seen >= target:
+                return float(1 << index)
+        return float(self.max)
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+        self._buckets.clear()
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+            "buckets": self.buckets(),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named instruments.
+
+    Re-registering a name returns the existing instrument (so a reused
+    component re-attaches cleanly); registering it as a *different*
+    instrument type, or under a name that collides with an existing
+    group prefix, raises.
+    """
+
+    def __init__(self):
+        self._metrics: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    def _get_or_create(self, name: str, factory, kind):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, kind):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}"
+                )
+            return existing
+        for other in self._metrics:
+            if other.startswith(name + ".") or name.startswith(other + "."):
+                raise ValueError(
+                    f"metric name {name!r} collides with group/leaf {other!r}"
+                )
+        metric = factory(name)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter, Counter)
+
+    def gauge(self, name: str, fn: Optional[Callable[[], float]] = None) -> Gauge:
+        gauge = self._get_or_create(name, lambda n: Gauge(n, fn), Gauge)
+        if fn is not None and gauge.fn is None:
+            gauge.fn = fn
+        return gauge
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get_or_create(name, Histogram, Histogram)
+
+    # ------------------------------------------------------------------
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def get(self, name: str):
+        return self._metrics.get(name)
+
+    def reset(self) -> None:
+        """Zero counters/histograms/set-gauges (callback gauges are live)."""
+        for metric in self._metrics.values():
+            metric.reset()
+
+    def to_dict(self) -> Dict[str, object]:
+        """Snapshot every instrument into a nested dict by dotted name."""
+        tree: Dict[str, object] = {}
+        for name in sorted(self._metrics):
+            parts = name.split(".")
+            node = tree
+            for part in parts[:-1]:
+                node = node.setdefault(part, {})
+            node[parts[-1]] = self._metrics[name].snapshot()
+        return tree
+
+    def write_json(self, path: str, extra: Optional[Dict[str, object]] = None) -> None:
+        document = self.to_dict()
+        if extra:
+            document.update(extra)
+        with open(path, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")

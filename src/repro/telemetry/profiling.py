@@ -1,0 +1,119 @@
+"""Host-side profiling: where does *wall-clock* time go during a run?
+
+The simulator's own cycle counters say nothing about which Python code
+path is slow.  :class:`HostProfiler` hands out lightweight context-
+manager scopes (``with profiler.scope("walker"): ...``) that accumulate
+``time.perf_counter`` durations and call counts per component.  Scopes
+nest; the accounted time is *inclusive* (a ``walker`` scope includes the
+``cache`` and ``dram`` scopes it triggers), which matches how the
+simulator composes — the report orders components by share of the
+deepest-common ancestor, so inclusive totals read naturally.
+
+:class:`ProgressUpdate` is the payload of the engine's live progress
+callback (``repro run --progress``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict
+
+
+class _Scope:
+    """One timed region; created per entry, so scopes are re-entrant."""
+
+    __slots__ = ("_profiler", "_name", "_start")
+
+    def __init__(self, profiler: "HostProfiler", name: str):
+        self._profiler = profiler
+        self._name = name
+
+    def __enter__(self) -> "_Scope":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._profiler._record(self._name, time.perf_counter() - self._start)
+
+
+class HostProfiler:
+    """Accumulates wall-clock seconds and call counts per named scope."""
+
+    def __init__(self):
+        self._seconds: Dict[str, float] = {}
+        self._calls: Dict[str, int] = {}
+
+    def scope(self, name: str) -> _Scope:
+        return _Scope(self, name)
+
+    def _record(self, name: str, elapsed: float) -> None:
+        self._seconds[name] = self._seconds.get(name, 0.0) + elapsed
+        self._calls[name] = self._calls.get(name, 0) + 1
+
+    def add(self, name: str, elapsed: float, calls: int = 1) -> None:
+        """Record an externally timed region (no scope object needed)."""
+        self._seconds[name] = self._seconds.get(name, 0.0) + elapsed
+        self._calls[name] = self._calls.get(name, 0) + calls
+
+    def reset(self) -> None:
+        self._seconds.clear()
+        self._calls.clear()
+
+    def report(self) -> Dict[str, Dict[str, float]]:
+        """``{scope: {"seconds": s, "calls": n, "us_per_call": u}}``."""
+        return {
+            name: {
+                "seconds": seconds,
+                "calls": self._calls[name],
+                "us_per_call": (
+                    1e6 * seconds / self._calls[name] if self._calls[name] else 0.0
+                ),
+            }
+            for name, seconds in sorted(
+                self._seconds.items(), key=lambda kv: -kv[1]
+            )
+        }
+
+    def format(self) -> str:
+        """Human-readable table, slowest scope first."""
+        lines = [f"{'scope':<16} {'seconds':>9} {'calls':>10} {'us/call':>9}"]
+        for name, row in self.report().items():
+            lines.append(
+                f"{name:<16} {row['seconds']:>9.3f} {row['calls']:>10d} "
+                f"{row['us_per_call']:>9.1f}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class ProgressUpdate:
+    """One live progress report from the engine."""
+
+    executed: int
+    total: int
+    elapsed_seconds: float
+
+    @property
+    def fraction(self) -> float:
+        return self.executed / self.total if self.total else 0.0
+
+    @property
+    def accesses_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.executed / self.elapsed_seconds
+
+    @property
+    def eta_seconds(self) -> float:
+        rate = self.accesses_per_second
+        if rate <= 0:
+            return 0.0
+        return (self.total - self.executed) / rate
+
+    def format(self) -> str:
+        return (
+            f"{self.executed}/{self.total} ({self.fraction:.0%}) "
+            f"{self.accesses_per_second:,.0f} acc/s "
+            f"eta {self.eta_seconds:.1f}s"
+        )

@@ -179,3 +179,22 @@ class PomTlb:
     def occupancy(self) -> float:
         held = sum(len(s) for s in self._contents.values())
         return held / (2 * self.sets_per_size * self.entries_per_set)
+
+    def register_metrics(self, registry, prefix: str = "pom") -> None:
+        """Expose POM-TLB counters as callback gauges under ``prefix``.
+
+        Callbacks read through ``self.stats`` lazily (the stats object is
+        replaced on ``System.reset_stats``) and cost nothing until the
+        registry is exported.
+        """
+        registry.gauge(f"{prefix}.hits", lambda: self.stats.hits)
+        registry.gauge(f"{prefix}.misses", lambda: self.stats.misses)
+        registry.gauge(f"{prefix}.hit_rate", lambda: self.stats.hit_rate)
+        registry.gauge(
+            f"{prefix}.first_probe_hits", lambda: self.stats.first_probe_hits
+        )
+        registry.gauge(
+            f"{prefix}.second_probes", lambda: self.stats.second_probes
+        )
+        registry.gauge(f"{prefix}.insertions", lambda: self.stats.insertions)
+        registry.gauge(f"{prefix}.occupancy", self.occupancy)

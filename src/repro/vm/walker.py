@@ -58,6 +58,20 @@ class WalkerStats:
         return self.total_refs / self.walks if self.walks else 0.0
 
 
+def register_walker_metrics(walker: "PageWalker", registry, prefix: str) -> None:
+    """Register a walker's counters as callback gauges under ``prefix``.
+
+    Callbacks dereference ``walker.stats`` lazily because the stats
+    object is replaced wholesale on ``System.reset_stats``.
+    """
+    registry.gauge(f"{prefix}.walks", lambda: walker.stats.walks)
+    registry.gauge(f"{prefix}.total_refs", lambda: walker.stats.total_refs)
+    registry.gauge(
+        f"{prefix}.mean_latency_cycles", lambda: walker.stats.mean_latency
+    )
+    registry.gauge(f"{prefix}.mean_refs", lambda: walker.stats.mean_refs)
+
+
 class VirtualMachine:
     """Page tables and allocators for one guest VM (or native process group).
 
@@ -150,6 +164,10 @@ class PageWalker:
         self.nested_tlb = NestedTlb(entries=nested_tlb_entries)
         self.walk_kind = walk_kind
         self.stats = WalkerStats()
+
+    def register_metrics(self, registry, prefix: str) -> None:
+        """Expose walk counters in a telemetry metrics registry."""
+        register_walker_metrics(self, registry, prefix)
 
     # ------------------------------------------------------------------
     # Native (1-D) walk

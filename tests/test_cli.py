@@ -1,5 +1,7 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -47,6 +49,92 @@ class TestRun:
     def test_bad_mix_rejected(self):
         with pytest.raises(SystemExit):
             main(["run", "--mix", "doom3"])
+
+
+class TestRunTelemetry:
+    def test_json_output(self, capsys):
+        code = main([
+            "run", "--mix", "gups", "--scheme", "pom-tlb",
+            "--accesses", "3000", "--json",
+        ])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["result"]["scheme"] == "pom-tlb"
+        assert document["result"]["instructions"] > 0
+        assert document["elapsed_seconds"] >= 0.0
+
+    def test_json_with_baseline(self, capsys):
+        code = main([
+            "run", "--mix", "gups", "--scheme", "csalt-cd",
+            "--accesses", "3000", "--baseline", "--json",
+        ])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["baseline"]["scheme"] == "pom-tlb"
+        assert document["speedup_over_baseline"] > 0.0
+
+    def test_trace_and_metrics_out(self, tmp_path, capsys):
+        trace_path = tmp_path / "run.trace.jsonl"
+        metrics_path = tmp_path / "metrics.json"
+        code = main([
+            "run", "--mix", "gups", "--scheme", "csalt-cd",
+            "--accesses", "6000",
+            "--trace-out", str(trace_path),
+            "--metrics-out", str(metrics_path),
+            "--profile",
+        ])
+        assert code == 0
+        assert trace_path.exists() and metrics_path.exists()
+        with open(metrics_path) as handle:
+            metrics = json.load(handle)
+        assert "buckets" in metrics["walker"]["latency_cycles"]
+        assert metrics["run"]["scheme"] == "csalt-cd"
+        assert "host_profile" in metrics
+        err = capsys.readouterr().err
+        assert "us/call" in err
+
+    def test_stats_round_trip(self, tmp_path, capsys):
+        trace_path = tmp_path / "run.trace.jsonl"
+        assert main([
+            "run", "--mix", "gups", "--scheme", "csalt-cd",
+            "--accesses", "6000", "--trace-out", str(trace_path),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["stats", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "page walks" in out
+        assert main(["stats", str(trace_path), "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["walks"]["count"] > 0
+
+    def test_stats_chrome_out(self, tmp_path, capsys):
+        trace_path = tmp_path / "run.trace.jsonl"
+        chrome_path = tmp_path / "chrome.json"
+        assert main([
+            "run", "--mix", "gups", "--scheme", "pom-tlb",
+            "--accesses", "3000", "--trace-out", str(trace_path),
+        ]) == 0
+        assert main([
+            "stats", str(trace_path), "--chrome-out", str(chrome_path),
+        ]) == 0
+        with open(chrome_path) as handle:
+            document = json.load(handle)
+        assert document["traceEvents"]
+        assert document["displayTimeUnit"] == "ms"
+
+    def test_stats_bad_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("definitely not json\n")
+        assert main(["stats", str(bad)]) == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_progress_flag(self, capsys):
+        code = main([
+            "run", "--mix", "gups", "--scheme", "pom-tlb",
+            "--accesses", "3000", "--progress",
+        ])
+        assert code == 0
+        assert "acc/s" in capsys.readouterr().err
 
 
 class TestReport:

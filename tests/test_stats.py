@@ -1,6 +1,8 @@
 """Unit tests for statistics containers and derived metrics."""
 
+import json
 import math
+import warnings
 
 import pytest
 from hypothesis import given, strategies as st
@@ -21,7 +23,26 @@ class TestGeometricMean:
         assert geometric_mean([]) == 0.0
 
     def test_ignores_nonpositive(self):
-        assert geometric_mean([0.0, 4.0]) == pytest.approx(4.0)
+        with pytest.warns(RuntimeWarning, match="dropped 1 non-positive"):
+            assert geometric_mean([0.0, 4.0]) == pytest.approx(4.0)
+
+    def test_warns_on_negative(self):
+        with pytest.warns(RuntimeWarning, match="dropped 2 non-positive"):
+            assert geometric_mean([-1.0, 0.0, 9.0]) == pytest.approx(9.0)
+
+    def test_no_warning_for_all_positive(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_no_warning_for_empty(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert geometric_mean([]) == 0.0
+
+    def test_all_nonpositive_returns_zero(self):
+        with pytest.warns(RuntimeWarning):
+            assert geometric_mean([0.0, -3.0]) == 0.0
 
     @given(st.lists(st.floats(min_value=0.1, max_value=100.0), min_size=1,
                     max_size=20))
@@ -111,3 +132,73 @@ class TestSimulationResult:
         assert result.mean_l2_tlb_occupancy == pytest.approx(0.3)
         assert result.mean_l3_tlb_occupancy == pytest.approx(0.6)
         assert make_result().mean_l3_tlb_occupancy == 0.0
+
+
+class TestEdgeCases:
+    """Zero-instruction cores, empty samples, zero-IPC baselines."""
+
+    def test_zero_instruction_core_drops_from_geomean(self):
+        result = make_result(per_core=[
+            CoreStats(instructions=1000, cycles=1000.0),
+            CoreStats(),  # never executed: ipc == 0
+        ])
+        with pytest.warns(RuntimeWarning):
+            assert result.ipc == pytest.approx(1.0)
+
+    def test_all_dead_cores_ipc_zero(self):
+        result = make_result(per_core=[CoreStats(), CoreStats()])
+        with pytest.warns(RuntimeWarning):
+            assert result.ipc == 0.0
+
+    def test_zero_instruction_mpki_zero(self):
+        result = make_result(
+            per_core=[CoreStats()], l2_cache_misses=5, l3_cache_misses=5
+        )
+        assert result.l2_tlb_mpki == 0.0
+        assert result.l2_cache_mpki == 0.0
+        assert result.l3_cache_mpki == 0.0
+
+    def test_empty_occupancy_samples(self):
+        result = make_result(occupancy_samples=[])
+        assert result.mean_l2_tlb_occupancy == 0.0
+        assert result.mean_l3_tlb_occupancy == 0.0
+
+    def test_speedup_over_zero_ipc_baseline(self):
+        fast = make_result()
+        dead = make_result(per_core=[CoreStats()])
+        with pytest.warns(RuntimeWarning):
+            assert fast.speedup_over(dead) == 0.0
+
+    def test_walk_cycles_per_l2_miss_no_misses(self):
+        result = make_result(per_core=[CoreStats(instructions=10, cycles=5.0)])
+        assert result.walk_cycles_per_l2_miss == 0.0
+
+
+class TestToDict:
+    def test_round_trips_through_json(self):
+        result = make_result(
+            occupancy_samples=[OccupancySample(10, 0.2, 0.4)],
+            l3_partition_timeline=[(0, 0.5), (100, 0.25)],
+            extra={"context_switches": 4.0},
+        )
+        document = json.loads(json.dumps(result.to_dict()))
+        assert document["scheme"] == "pom-tlb"
+        assert document["workload"] == "gups"
+        assert document["instructions"] == 2000
+        assert document["ipc"] == pytest.approx(result.ipc)
+        assert document["l2_tlb_mpki"] == pytest.approx(25.0)
+        assert document["pom_hit_rate"] == pytest.approx(0.9)
+        assert len(document["per_core"]) == 2
+        assert document["per_core"][0]["ipc"] == pytest.approx(0.5)
+        assert document["occupancy_samples"] == [
+            {"access_count": 10, "l2_tlb_fraction": 0.2, "l3_tlb_fraction": 0.4}
+        ]
+        assert document["l3_partition_timeline"] == [[0, 0.5], [100, 0.25]]
+        assert document["extra"]["context_switches"] == 4.0
+
+    def test_core_stats_to_dict(self):
+        core = CoreStats(instructions=1000, cycles=500.0, l2_tlb_misses=10)
+        document = core.to_dict()
+        assert document["ipc"] == pytest.approx(2.0)
+        assert document["l2_tlb_mpki"] == pytest.approx(10.0)
+        assert document["instructions"] == 1000
