@@ -110,6 +110,26 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--only", default=None,
                         help="comma-separated exhibit names, e.g. "
                              "figure7,figure8")
+    report.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
+                        help="worker processes for the evaluation grid "
+                             "(1 = in-process; >1 adds per-point fault "
+                             "isolation)")
+    report.add_argument("--store", default=None, metavar="DIR",
+                        help="persist every completed point to this "
+                             "directory (atomic, content-addressed; see "
+                             "docs/experiments.md)")
+    report.add_argument("--resume", action="store_true",
+                        help="reuse points already persisted in --store, "
+                             "re-simulating only what is missing")
+    report.add_argument("--strict", action="store_true",
+                        help="exit nonzero if any exhibit rendered PARTIAL")
+    report.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-point timeout (only with --jobs > 1); "
+                             "timed-out points retry with backoff")
+    report.add_argument("--retries", type=int, default=2, metavar="N",
+                        help="retry budget for transient point failures "
+                             "(worker killed, timeout)")
 
     commands.add_parser("mixes", help="list programs and VM pairings")
 
@@ -269,6 +289,7 @@ def _command_stats(args: argparse.Namespace) -> int:
 
 def _command_report(args: argparse.Namespace) -> int:
     from repro.experiments import report as report_module
+    from repro.experiments.store import ResultStore
 
     experiments = report_module.EXPERIMENTS
     if args.only:
@@ -278,22 +299,41 @@ def _command_report(args: argparse.Namespace) -> int:
             print(f"unknown exhibits: {sorted(unknown)}", file=sys.stderr)
             print(f"available: {[n for n, _ in experiments]}", file=sys.stderr)
             return 2
-        sections = []
-        for name, experiment in experiments:
-            if name in wanted:
-                print(f"running {name}...", file=sys.stderr)
-                sections.append(experiment().format())
-        text = "\n\n".join(sections)
-    else:
-        text = report_module.generate_report(
-            progress=lambda s: print(s, file=sys.stderr)
+        experiments = [
+            entry for entry in experiments if entry[0] in wanted
+        ]
+    if args.resume and args.store is None:
+        print("--resume requires --store DIR", file=sys.stderr)
+        return 2
+    store = ResultStore(args.store) if args.store else None
+    try:
+        document = report_module.build_report(
+            progress=lambda s: print(s, file=sys.stderr),
+            experiments=experiments,
+            jobs=args.jobs,
+            store=store,
+            resume=args.resume,
+            timeout=args.timeout,
+            retries=args.retries,
         )
+    except KeyboardInterrupt as exc:
+        # Everything already simulated was persisted write-through; a
+        # rerun with --resume replays only the missing points.
+        message = str(exc) or "interrupted"
+        print(f"\n{message}", file=sys.stderr)
+        return 130
+    text = document.text
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(text + "\n")
         print(f"wrote {args.out}", file=sys.stderr)
     else:
         print(text)
+    partial = document.partial_exhibits
+    if partial:
+        print(f"PARTIAL exhibits: {', '.join(partial)}", file=sys.stderr)
+        if args.strict:
+            return 1
     return 0
 
 

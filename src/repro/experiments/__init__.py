@@ -1,11 +1,38 @@
 """repro.experiments subpackage: the paper's evaluation, runnable.
 
-``figures`` has one ``run_*`` per paper exhibit, ``ablations`` the design
-ablations and extensions, ``runner`` the cached per-point simulator, and
-``report`` the all-in-one markdown generator
+``figures`` has one ``run_*`` per paper exhibit (plus ``points_*``
+pre-enumerating each exhibit's evaluation grid), ``ablations`` the
+design ablations and extensions, ``runner`` the cached per-point
+simulator (memory -> disk -> simulate), ``store`` the persistent
+content-addressed result store, ``pool`` the fault-isolated campaign
+executor, and ``report`` the all-in-one markdown generator
 (``python -m repro.experiments.report``).
 """
 
-from repro.experiments.runner import clear_cache, run_point
+from repro.experiments.pool import (
+    CampaignInterrupted,
+    CampaignSummary,
+    PointFailure,
+    run_campaign,
+)
+from repro.experiments.runner import (
+    PointFailedError,
+    clear_cache,
+    point_signature,
+    run_point,
+    set_store,
+)
+from repro.experiments.store import ResultStore
 
-__all__ = ["clear_cache", "run_point"]
+__all__ = [
+    "CampaignInterrupted",
+    "CampaignSummary",
+    "PointFailedError",
+    "PointFailure",
+    "ResultStore",
+    "clear_cache",
+    "point_signature",
+    "run_campaign",
+    "run_point",
+    "set_store",
+]

@@ -8,14 +8,89 @@ Sections 3.3-3.4 without plotting.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Dict, List, Sequence
 
 from repro.core.schemes import Scheme
 from repro.experiments.figures import SeriesResult, _geomean_row
-from repro.experiments.runner import run_point
+from repro.experiments.runner import point_signature, run_point
 
 #: Contended mixes where partitioning decisions matter most.
 ABLATION_MIXES = ("ccomp", "can_ccomp", "canneal", "pagerank")
+
+
+# ----------------------------------------------------------------------
+# Point enumeration (see figures.py: pre-computed grids for the
+# campaign pool; keep each mirror in sync with its run_* loop).
+# ----------------------------------------------------------------------
+def points_static_vs_dynamic(
+    mixes: Sequence[str] = ABLATION_MIXES, **kw
+) -> List[Dict]:
+    schemes = (
+        Scheme.POM_TLB, Scheme.CSALT_STATIC, Scheme.CSALT_D, Scheme.CSALT_CD,
+    )
+    return [
+        point_signature(mix, scheme, contexts=2, **kw)
+        for mix in mixes
+        for scheme in schemes
+    ]
+
+
+def points_pseudo_lru(mixes: Sequence[str] = ABLATION_MIXES, **kw) -> List[Dict]:
+    variants = (
+        ("lru", False), ("nru", True), ("plru", True), ("rrip", True),
+    )
+    return [
+        point_signature(
+            mix, Scheme.CSALT_CD, contexts=2, replacement=replacement,
+            estimate_positions=estimate, **kw,
+        )
+        for mix in mixes
+        for replacement, estimate in variants
+    ]
+
+
+def points_partition_levels(
+    mixes: Sequence[str] = ABLATION_MIXES, **kw
+) -> List[Dict]:
+    variants = (
+        dict(partition_l2_only=True), dict(partition_l3_only=True), dict(),
+    )
+    points = []
+    for mix in mixes:
+        points.append(point_signature(mix, Scheme.POM_TLB, contexts=2, **kw))
+        for options in variants:
+            points.append(
+                point_signature(
+                    mix, Scheme.CSALT_CD, contexts=2, **options, **kw
+                )
+            )
+    return points
+
+
+def points_five_level_paging(
+    mixes: Sequence[str] = ABLATION_MIXES, **kw
+) -> List[Dict]:
+    return [
+        point_signature(
+            mix, scheme, contexts=2, page_table_levels=levels, **kw
+        )
+        for mix in mixes
+        for levels in (4, 5)
+        for scheme in (Scheme.CONVENTIONAL, Scheme.POM_TLB, Scheme.CSALT_CD)
+    ]
+
+
+def points_tlb_prefetch(
+    mixes: Sequence[str] = ("streamcluster", "can_stream", "gups", "ccomp"),
+    **kw,
+) -> List[Dict]:
+    return [
+        point_signature(
+            mix, Scheme.CSALT_CD, contexts=2, tlb_prefetch=prefetch, **kw
+        )
+        for mix in mixes
+        for prefetch in (False, True)
+    ]
 
 
 def run_static_vs_dynamic(

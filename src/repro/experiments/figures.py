@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from repro.core.schemes import Scheme
-from repro.experiments.runner import run_point
+from repro.experiments.runner import point_signature, run_point
 from repro.experiments.tables import format_table
 from repro.sim.stats import geometric_mean
 from repro.workloads.mixes import MIX_NAMES
@@ -43,6 +43,149 @@ class SeriesResult:
 
 def _geomean_row(label: str, columns: List[List[float]]) -> List[object]:
     return [label] + [geometric_mean(col) for col in columns]
+
+
+# ----------------------------------------------------------------------
+# Point enumeration
+#
+# Each ``points_*`` function pre-enumerates every evaluation point the
+# matching ``run_*`` will request, as canonical run signatures (see
+# ``runner.point_signature``).  The campaign pool simulates these across
+# workers — with dedup, persistence and retry — *before* the exhibit
+# renders, so ``run_*`` then only reads warm caches.  Keep each mirror
+# in sync with its loop; ``tests/test_experiments.py`` cross-checks
+# them against the signatures the runners actually simulate.
+# ----------------------------------------------------------------------
+def points_figure1(mixes: Sequence[str] = MIX_NAMES, **kw) -> List[Dict]:
+    from repro.workloads.mixes import MIXES
+
+    points = []
+    for mix in mixes:
+        points.append(point_signature(mix, Scheme.CONVENTIONAL, contexts=2, **kw))
+        for program in sorted(set(MIXES[mix])):
+            points.append(
+                point_signature(program, Scheme.CONVENTIONAL, contexts=1, **kw)
+            )
+    return points
+
+
+def points_table1(programs: Sequence[str] = TABLE1_PROGRAMS, **kw) -> List[Dict]:
+    return [
+        point_signature(
+            program, Scheme.CONVENTIONAL, contexts=1,
+            virtualized=virtualized, **kw,
+        )
+        for program in programs
+        for virtualized in (False, True)
+    ]
+
+
+def points_figure3(programs: Sequence[str] = FIGURE3_PROGRAMS, **kw) -> List[Dict]:
+    return [
+        point_signature(program, Scheme.POM_TLB, contexts=2, **kw)
+        for program in programs
+    ]
+
+
+def points_figure7(
+    mixes: Sequence[str] = MIX_NAMES,
+    schemes: Sequence[Scheme] = FIGURE7_SCHEMES,
+    **kw,
+) -> List[Dict]:
+    points = []
+    for mix in mixes:
+        points.append(point_signature(mix, Scheme.POM_TLB, contexts=2, **kw))
+        for scheme in schemes:
+            points.append(point_signature(mix, scheme, contexts=2, **kw))
+    return points
+
+
+def points_figure8(mixes: Sequence[str] = MIX_NAMES, **kw) -> List[Dict]:
+    return [
+        point_signature(mix, Scheme.POM_TLB, contexts=2, **kw) for mix in mixes
+    ]
+
+
+def points_figure9(mix: str = "ccomp", **kw) -> List[Dict]:
+    return [point_signature(mix, Scheme.CSALT_CD, contexts=2, **kw)]
+
+
+def _points_relative_mpki(mixes: Sequence[str], **kw) -> List[Dict]:
+    return [
+        point_signature(mix, scheme, contexts=2, **kw)
+        for mix in mixes
+        for scheme in (Scheme.POM_TLB, Scheme.CSALT_D, Scheme.CSALT_CD)
+    ]
+
+
+def points_figure10(mixes: Sequence[str] = MIX_NAMES, **kw) -> List[Dict]:
+    return _points_relative_mpki(mixes, **kw)
+
+
+def points_figure11(mixes: Sequence[str] = MIX_NAMES, **kw) -> List[Dict]:
+    return _points_relative_mpki(mixes, **kw)
+
+
+def points_figure12(mixes: Sequence[str] = MIX_NAMES, **kw) -> List[Dict]:
+    return [
+        point_signature(mix, scheme, contexts=2, virtualized=False, **kw)
+        for mix in mixes
+        for scheme in (Scheme.POM_TLB, Scheme.CSALT_CD)
+    ]
+
+
+def points_figure13(mixes: Sequence[str] = MIX_NAMES, **kw) -> List[Dict]:
+    return [
+        point_signature(mix, scheme, contexts=2, **kw)
+        for mix in mixes
+        for scheme in (Scheme.POM_TLB, Scheme.TSB, Scheme.DIP, Scheme.CSALT_CD)
+    ]
+
+
+def points_figure14(
+    mixes: Sequence[str] = MIX_NAMES,
+    context_counts: Sequence[int] = (1, 2, 4),
+    **kw,
+) -> List[Dict]:
+    return [
+        point_signature(mix, scheme, contexts=contexts, **kw)
+        for mix in mixes
+        for contexts in context_counts
+        for scheme in (Scheme.POM_TLB, Scheme.CSALT_CD)
+    ]
+
+
+def points_figure15(
+    mixes: Sequence[str] = MIX_NAMES,
+    epochs: Sequence[int] = (2_000, 4_000, 8_000),
+    **kw,
+) -> List[Dict]:
+    default_epoch = epochs[len(epochs) // 2]
+    wanted = list(epochs)
+    if default_epoch not in wanted:
+        wanted.append(default_epoch)
+    return [
+        point_signature(
+            mix, Scheme.CSALT_CD, contexts=2, epoch_accesses=epoch, **kw
+        )
+        for mix in mixes
+        for epoch in wanted
+    ]
+
+
+def points_figure16(
+    mixes: Sequence[str] = MIX_NAMES,
+    intervals_ms: Sequence[float] = (5.0, 10.0, 30.0),
+    **kw,
+) -> List[Dict]:
+    return [
+        point_signature(
+            mix, scheme, contexts=2, switch_interval_ms=interval, **kw
+        )
+        for mix in mixes
+        for interval in intervals_ms
+        for scheme in (Scheme.POM_TLB, Scheme.CSALT_CD)
+    ]
 
 
 # ----------------------------------------------------------------------

@@ -5,16 +5,30 @@ Usage::
 
     python -m repro.experiments.report            # print to stdout
     python -m repro.experiments.report out.md     # write to a file
+
+The richer entry point is ``repro report`` (see ``repro.cli``), which
+adds crash-safe campaign execution: ``--jobs N`` fans the pre-enumerated
+evaluation grid out across worker processes, ``--store DIR`` persists
+every completed point, ``--resume`` replays only what is missing after
+an interruption, and a point that keeps failing degrades its exhibit to
+PARTIAL instead of aborting the campaign.
 """
 
 from __future__ import annotations
 
 import sys
+from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Callable, List
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments import ablations, figures
-from repro.experiments.runner import DEFAULT_TOTAL_ACCESSES, cache_size
+from repro.experiments import ablations, figures, runner
+from repro.experiments.pool import CampaignSummary, run_campaign
+from repro.experiments.runner import (
+    PointFailedError,
+    cache_size,
+    default_total_accesses,
+)
+from repro.experiments.store import ResultStore
 
 #: Paper-expectation notes shown next to each exhibit.
 PAPER_NOTES = {
@@ -54,28 +68,141 @@ EXPERIMENTS: List = [
     ("extension-prefetch", ablations.run_tlb_prefetch),
 ]
 
+#: Exhibit name -> function enumerating its evaluation points (run
+#: signatures).  The campaign pool pre-simulates these before the
+#: exhibit renders; an exhibit without an enumerator simply simulates
+#: inline when it renders.
+POINT_ENUMERATORS: Dict[str, Callable] = {
+    "figure1": figures.points_figure1,
+    "table1": figures.points_table1,
+    "figure3": figures.points_figure3,
+    "figure7": figures.points_figure7,
+    "figure8": figures.points_figure8,
+    "figure9": figures.points_figure9,
+    "figure10": figures.points_figure10,
+    "figure11": figures.points_figure11,
+    "figure12": figures.points_figure12,
+    "figure13": figures.points_figure13,
+    "figure14": figures.points_figure14,
+    "figure15": figures.points_figure15,
+    "figure16": figures.points_figure16,
+    "ablation-static": ablations.points_static_vs_dynamic,
+    "ablation-pseudo-lru": ablations.points_pseudo_lru,
+    "ablation-partition-levels": ablations.points_partition_levels,
+    "extension-5level": ablations.points_five_level_paging,
+    "extension-prefetch": ablations.points_tlb_prefetch,
+}
 
-def generate_report(progress: Callable[[str], None] = lambda s: None) -> str:
-    """Run every experiment and return the markdown report."""
+
+@dataclass
+class ReportDocument:
+    """A rendered report plus per-exhibit status for strict callers."""
+
+    text: str
+    statuses: Dict[str, str] = field(default_factory=dict)  # name -> ok|partial
+    campaign: Optional[CampaignSummary] = None
+
+    @property
+    def partial_exhibits(self) -> List[str]:
+        return [
+            name for name, status in self.statuses.items() if status != "ok"
+        ]
+
+    @property
+    def complete(self) -> bool:
+        return not self.partial_exhibits
+
+
+def enumerate_points(
+    experiments: Sequence[Tuple[str, Callable]]
+) -> List[Dict[str, object]]:
+    """Every run signature the given exhibits will request (with dups)."""
+    points: List[Dict[str, object]] = []
+    for name, _ in experiments:
+        enumerator = POINT_ENUMERATORS.get(name)
+        if enumerator is not None:
+            points.extend(enumerator())
+    return points
+
+
+def build_report(
+    progress: Callable[[str], None] = lambda s: None,
+    *,
+    experiments: Optional[Sequence[Tuple[str, Callable]]] = None,
+    jobs: int = 1,
+    store: Optional[ResultStore] = None,
+    resume: bool = False,
+    timeout: Optional[float] = None,
+    retries: int = 2,
+) -> ReportDocument:
+    """Generate the report, optionally through a crash-safe campaign.
+
+    When a ``store`` is given or ``jobs > 1``, the exhibits' evaluation
+    grids are pre-enumerated and drained by the worker pool first
+    (persistent, deduplicated, fault-isolated); rendering then reads
+    warm caches.  An exhibit whose points failed renders as PARTIAL with
+    the error attached — the rest of the report still completes.
+    """
+    selected = list(experiments if experiments is not None else EXPERIMENTS)
+    campaign = None
+    if store is not None or jobs > 1:
+        if store is not None:
+            runner.set_store(store, consult=resume)
+        campaign = run_campaign(
+            enumerate_points(selected),
+            jobs=jobs, store=store, resume=resume,
+            timeout=timeout, retries=retries, progress=progress,
+        )
+        progress(f"campaign: {campaign.format()}")
+    document = ReportDocument(text="", campaign=campaign)
     sections = [
         "# CSALT reproduction report",
         "",
         f"Generated by `python -m repro.experiments.report` "
-        f"({DEFAULT_TOTAL_ACCESSES} accesses/run, quarter-scale preset; "
+        f"({default_total_accesses()} accesses/run, quarter-scale preset; "
         "see DESIGN.md Section 5).",
         "",
     ]
-    for name, experiment in EXPERIMENTS:
+    for name, experiment in selected:
         started = perf_counter()
-        result = experiment()
-        progress(f"{name}: done in {perf_counter() - started:.1f}s "
-                 f"({cache_size()} cached runs)")
-        sections.append(result.format())
+        try:
+            result = experiment()
+        except PointFailedError as exc:
+            document.statuses[name] = "partial"
+            sections.append(_partial_section(name, str(exc)))
+            progress(f"{name}: PARTIAL ({exc})")
+        except Exception as exc:  # defense: no exhibit may kill the report
+            document.statuses[name] = "partial"
+            error = f"{type(exc).__name__}: {exc}"
+            sections.append(_partial_section(name, error))
+            progress(f"{name}: PARTIAL ({error})")
+        else:
+            document.statuses[name] = "ok"
+            sections.append(result.format())
+            progress(f"{name}: done in {perf_counter() - started:.1f}s "
+                     f"({cache_size()} cached runs)")
         note = PAPER_NOTES.get(name)
         if note:
             sections.append(f"\n*{note}*")
         sections.append("")
-    return "\n".join(sections)
+    document.text = "\n".join(sections)
+    return document
+
+
+def _partial_section(name: str, error: str) -> str:
+    return (
+        f"### {name} — PARTIAL\n\n"
+        f"This exhibit could not be fully regenerated: {error}\n\n"
+        "Re-run with `repro report --resume --store DIR` to retry the "
+        "missing points."
+    )
+
+
+def generate_report(
+    progress: Callable[[str], None] = lambda s: None, **kwargs
+) -> str:
+    """Run every experiment and return the markdown report text."""
+    return build_report(progress, **kwargs).text
 
 
 def main(argv: List[str]) -> int:

@@ -7,7 +7,12 @@ experiments use the quarter-scale preset (``small_config`` +
 ``make_mix(scale=0.25)``); see DESIGN.md Section 5 for the scaling
 argument.
 
-Environment knobs (read once at import):
+Lookup order for a point is **memory -> disk -> simulate**: an attached
+:class:`~repro.experiments.store.ResultStore` (see :func:`set_store`)
+makes completed points durable, so a campaign interrupted hours in
+replays only what is missing on the next run.
+
+Environment knobs (read lazily, per call):
 
 * ``REPRO_TOTAL_ACCESSES`` — accesses per run (default 240 000);
 * ``REPRO_SEED`` — workload seed.
@@ -19,20 +24,132 @@ import os
 from typing import Dict, Optional, Tuple
 
 from repro.core.schemes import Scheme
+from repro.experiments.store import ResultStore
 from repro.sim.config import SMALL_WORKLOAD_SCALE, SystemConfig, small_config
 from repro.sim.engine import run_simulation
 from repro.sim.stats import SimulationResult
 from repro.workloads.mixes import MIX_NAMES, make_mix
 
-DEFAULT_TOTAL_ACCESSES = int(os.environ.get("REPRO_TOTAL_ACCESSES", 240_000))
-DEFAULT_SEED = int(os.environ.get("REPRO_SEED", 0))
+#: Fallback run length / seed when the ``REPRO_*`` variables are unset.
+#: The environment is consulted on *every* call (not at import), so
+#: ``REPRO_TOTAL_ACCESSES``/``REPRO_SEED`` changes — and tests that
+#: monkeypatch these module constants — take effect immediately.
+DEFAULT_TOTAL_ACCESSES = 240_000
+DEFAULT_SEED = 0
 
 #: Workload scale paired with the quarter-scale hardware preset.
 WORKLOAD_SCALE = SMALL_WORKLOAD_SCALE
 
 _cache: Dict[Tuple, SimulationResult] = {}
 
+#: Points poisoned by a campaign after exhausting retries: signature key
+#: -> error message.  ``run_point`` raises instead of re-simulating them
+#: so one bad point degrades its exhibit instead of stalling the report.
+_failed: Dict[Tuple, str] = {}
 
+_store: Optional[ResultStore] = None
+_consult_store: bool = True
+
+
+class PointFailedError(RuntimeError):
+    """A campaign already failed this point; don't silently re-run it."""
+
+
+def default_total_accesses() -> int:
+    """Per-run access budget: ``REPRO_TOTAL_ACCESSES`` read lazily."""
+    env = os.environ.get("REPRO_TOTAL_ACCESSES")
+    return int(env) if env is not None else DEFAULT_TOTAL_ACCESSES
+
+
+def default_seed() -> int:
+    """Workload seed: ``REPRO_SEED`` read lazily."""
+    env = os.environ.get("REPRO_SEED")
+    return int(env) if env is not None else DEFAULT_SEED
+
+
+# ----------------------------------------------------------------------
+# Run signatures
+# ----------------------------------------------------------------------
+def point_signature(
+    mix_name: str,
+    scheme: Scheme,
+    contexts: int = 2,
+    virtualized: bool = True,
+    switch_interval_ms: float = 10.0,
+    epoch_accesses: Optional[int] = None,
+    replacement: str = "lru",
+    estimate_positions: bool = False,
+    static_data_ways: Optional[int] = None,
+    partition_l2_only: bool = False,
+    partition_l3_only: bool = False,
+    page_table_levels: int = 4,
+    tlb_prefetch: bool = False,
+    total_accesses: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> Dict[str, object]:
+    """Canonical, JSON-able signature of one evaluation point.
+
+    Mirrors :func:`run_point`'s parameters with every default resolved
+    (including the lazily-read environment knobs), the scheme normalized
+    to its string value, and no host-dependent fields — the identity the
+    memory cache, the on-disk store and the worker pool all share.
+    """
+    return {
+        "mix_name": mix_name,
+        "scheme": scheme.value if isinstance(scheme, Scheme) else str(scheme),
+        "contexts": contexts,
+        "virtualized": virtualized,
+        "switch_interval_ms": switch_interval_ms,
+        "epoch_accesses": epoch_accesses,
+        "replacement": replacement,
+        "estimate_positions": estimate_positions,
+        "static_data_ways": static_data_ways,
+        "partition_l2_only": partition_l2_only,
+        "partition_l3_only": partition_l3_only,
+        "page_table_levels": page_table_levels,
+        "tlb_prefetch": tlb_prefetch,
+        "total_accesses": (
+            total_accesses if total_accesses is not None
+            else default_total_accesses()
+        ),
+        "seed": seed if seed is not None else default_seed(),
+    }
+
+
+def point_from_signature(signature: Dict[str, object]) -> Dict[str, object]:
+    """Inverse of :func:`point_signature`: kwargs for :func:`run_point`."""
+    kwargs = dict(signature)
+    kwargs["scheme"] = Scheme(kwargs["scheme"])
+    return kwargs
+
+
+def _cache_key(signature: Dict[str, object]) -> Tuple:
+    return tuple(sorted(signature.items(), key=lambda item: item[0]))
+
+
+# ----------------------------------------------------------------------
+# Persistent store attachment
+# ----------------------------------------------------------------------
+def set_store(store: Optional[ResultStore], consult: bool = True) -> None:
+    """Attach (or detach, with ``None``) the persistent result store.
+
+    Completed points are always written through.  With ``consult=False``
+    existing entries are ignored (and overwritten) instead of read back
+    — a deliberately *fresh* campaign that still persists as it goes;
+    ``consult=True`` is the resume behavior.
+    """
+    global _store, _consult_store
+    _store = store
+    _consult_store = consult
+
+
+def get_store() -> Optional[ResultStore]:
+    return _store
+
+
+# ----------------------------------------------------------------------
+# Point execution
+# ----------------------------------------------------------------------
 def run_point(
     mix_name: str,
     scheme: Scheme,
@@ -50,18 +167,31 @@ def run_point(
     total_accesses: Optional[int] = None,
     seed: Optional[int] = None,
 ) -> SimulationResult:
-    """Run (or fetch from cache) one evaluation point."""
-    total = total_accesses if total_accesses is not None else DEFAULT_TOTAL_ACCESSES
-    seed = seed if seed is not None else DEFAULT_SEED
-    key = (
+    """Run one evaluation point, consulting memory, then disk, then
+    simulating; a freshly simulated result is written through to the
+    attached store (when one is set) before it is returned."""
+    signature = point_signature(
         mix_name, scheme, contexts, virtualized, switch_interval_ms,
         epoch_accesses, replacement, estimate_positions, static_data_ways,
         partition_l2_only, partition_l3_only, page_table_levels,
-        tlb_prefetch, total, seed,
+        tlb_prefetch, total_accesses, seed,
     )
+    key = _cache_key(signature)
     cached = _cache.get(key)
     if cached is not None:
         return cached
+    if key in _failed:
+        raise PointFailedError(
+            f"point {mix_name}/{signature['scheme']} already failed in this "
+            f"campaign: {_failed[key]}"
+        )
+    if _store is not None and _consult_store:
+        stored = _store.load(signature)
+        if stored is not None:
+            _cache[key] = stored
+            return stored
+    total = signature["total_accesses"]
+    run_seed = signature["seed"]
     overrides = dict(
         scheme=scheme,
         contexts_per_core=contexts,
@@ -79,15 +209,26 @@ def run_point(
     workloads = make_mix(mix_name, contexts=contexts, scale=WORKLOAD_SCALE)
     if partition_l2_only or partition_l3_only:
         result = _run_partial_partition(
-            config, workloads, total, seed, mix_name,
+            config, workloads, total, run_seed, mix_name,
             partition_l2_only, partition_l3_only,
         )
     else:
         result = run_simulation(
-            config, workloads, total_accesses=total, seed=seed,
+            config, workloads, total_accesses=total, seed=run_seed,
             workload_name=mix_name,
         )
     _cache[key] = result
+    if _store is not None:
+        try:
+            _store.save(signature, result)
+        except OSError as exc:  # persistence is best-effort
+            import warnings
+
+            warnings.warn(
+                f"could not persist result for {mix_name}: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
     return result
 
 
@@ -117,8 +258,30 @@ def _run_partial_partition(
     )
 
 
+# ----------------------------------------------------------------------
+# Cache / failure bookkeeping (used by the campaign pool)
+# ----------------------------------------------------------------------
+def seed_cache(signature: Dict[str, object], result: SimulationResult) -> None:
+    """Insert an externally produced result (worker process, store scan)."""
+    _cache[_cache_key(signature)] = result
+
+
+def is_cached(signature: Dict[str, object]) -> bool:
+    return _cache_key(signature) in _cache
+
+
+def mark_failed(signature: Dict[str, object], error: str) -> None:
+    """Poison a point so later ``run_point`` calls raise immediately."""
+    _failed[_cache_key(signature)] = error
+
+
+def failed_count() -> int:
+    return len(_failed)
+
+
 def clear_cache() -> None:
     _cache.clear()
+    _failed.clear()
 
 
 def cache_size() -> int:

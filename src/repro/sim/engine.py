@@ -142,7 +142,7 @@ def run_simulation(
         telemetry.profiler.add("engine.run", elapsed)
     name = workload_name or "+".join(w.name for w in workloads)
     result = system.result(name)
-    result.extra["context_switches"] = float(scheduler.switches)
-    result.extra["seed"] = float(seed)
+    result.extra["context_switches"] = scheduler.switches
+    result.extra["seed"] = seed
     result.extra["host_seconds"] = elapsed
     return result

@@ -61,6 +61,20 @@ class CoreStats:
             "l2_tlb_mpki": self.l2_tlb_mpki,
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "CoreStats":
+        """Inverse of :meth:`to_dict`; derived rates are recomputed."""
+        return cls(
+            instructions=int(data["instructions"]),
+            cycles=float(data["cycles"]),
+            memory_accesses=int(data["memory_accesses"]),
+            translation_stall_cycles=float(data["translation_stall_cycles"]),
+            data_stall_cycles=float(data["data_stall_cycles"]),
+            l1_tlb_misses=int(data["l1_tlb_misses"]),
+            l2_tlb_misses=int(data["l2_tlb_misses"]),
+            page_walks=int(data["page_walks"]),
+        )
+
 
 def geometric_mean(values: List[float]) -> float:
     """Geometric mean over the *positive* inputs.
@@ -102,6 +116,14 @@ class OccupancySample:
             "l3_tlb_fraction": self.l3_tlb_fraction,
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "OccupancySample":
+        return cls(
+            access_count=int(data["access_count"]),
+            l2_tlb_fraction=float(data["l2_tlb_fraction"]),
+            l3_tlb_fraction=float(data["l3_tlb_fraction"]),
+        )
+
 
 @dataclass
 class SimulationResult:
@@ -122,7 +144,9 @@ class SimulationResult:
     occupancy_samples: List[OccupancySample] = field(default_factory=list)
     l2_partition_timeline: List[Tuple[int, float]] = field(default_factory=list)
     l3_partition_timeline: List[Tuple[int, float]] = field(default_factory=list)
-    extra: Dict[str, float] = field(default_factory=dict)
+    #: Free-form counters; ints stay ints so persisted results round-trip
+    #: exactly (``host_seconds`` is the one host-dependent key).
+    extra: Dict[str, object] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @property
@@ -247,3 +271,39 @@ class SimulationResult:
             ],
             "extra": dict(self.extra),
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SimulationResult":
+        """Rebuild a result from a :meth:`to_dict` snapshot.
+
+        Only the raw fields are read back; every derived metric in the
+        snapshot (``ipc``, MPKIs, rates) is recomputed by the properties,
+        so a round trip is exact and tamper-evident.
+        """
+        return cls(
+            scheme=str(data["scheme"]),
+            workload=str(data["workload"]),
+            per_core=[CoreStats.from_dict(core) for core in data["per_core"]],
+            l2_cache_misses=int(data["l2_cache_misses"]),
+            l2_cache_accesses=int(data["l2_cache_accesses"]),
+            l3_cache_misses=int(data["l3_cache_misses"]),
+            l3_cache_accesses=int(data["l3_cache_accesses"]),
+            l3_data_hit_rate=float(data["l3_data_hit_rate"]),
+            pom_hits=int(data["pom_hits"]),
+            pom_misses=int(data["pom_misses"]),
+            walk_mean_cycles=float(data["walk_mean_cycles"]),
+            walk_count=int(data["walk_count"]),
+            occupancy_samples=[
+                OccupancySample.from_dict(sample)
+                for sample in data.get("occupancy_samples", [])
+            ],
+            l2_partition_timeline=[
+                (int(count), float(fraction))
+                for count, fraction in data.get("l2_partition_timeline", [])
+            ],
+            l3_partition_timeline=[
+                (int(count), float(fraction))
+                for count, fraction in data.get("l3_partition_timeline", [])
+            ],
+            extra=dict(data.get("extra", {})),
+        )

@@ -139,11 +139,9 @@ class TestRunTelemetry:
 
 class TestReport:
     def test_only_subset(self, capsys, monkeypatch):
+        # The runner reads REPRO_TOTAL_ACCESSES lazily, per call.
         monkeypatch.setenv("REPRO_TOTAL_ACCESSES", "1000")
-        # Re-resolve the runner default lazily: run_point reads the module
-        # constant, so patch it directly for this tiny run.
         import repro.experiments.runner as runner
-        monkeypatch.setattr(runner, "DEFAULT_TOTAL_ACCESSES", 1000)
         runner.clear_cache()
         code = main(["report", "--only", "figure8"])
         assert code == 0
@@ -153,6 +151,69 @@ class TestReport:
     def test_unknown_exhibit(self, capsys):
         assert main(["report", "--only", "figure99"]) == 2
         assert "unknown exhibits" in capsys.readouterr().err
+
+    def test_resume_requires_store(self, capsys):
+        assert main(["report", "--resume"]) == 2
+        assert "--resume requires --store" in capsys.readouterr().err
+
+    def test_store_then_resume(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_TOTAL_ACCESSES", "1000")
+        import repro.experiments.runner as runner
+        runner.clear_cache()
+        store_dir = str(tmp_path / "store")
+        out1 = str(tmp_path / "r1.md")
+        assert main([
+            "report", "--only", "figure8", "--store", store_dir,
+            "--out", out1,
+        ]) == 0
+        assert len(list((tmp_path / "store").glob("*.json"))) == 10
+
+        # Resume from a cold cache: nothing is re-simulated.
+        runner.clear_cache()
+
+        def boom(*args, **kwargs):
+            raise AssertionError("resume should not simulate")
+
+        monkeypatch.setattr(runner, "run_simulation", boom)
+        out2 = str(tmp_path / "r2.md")
+        assert main([
+            "report", "--only", "figure8", "--store", store_dir,
+            "--resume", "--out", out2,
+        ]) == 0
+        with open(out1) as h1, open(out2) as h2:
+            assert h1.read() == h2.read()
+        runner.clear_cache()
+        runner.set_store(None)
+
+    def test_strict_flags_partial_exhibit(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_TOTAL_ACCESSES", "1000")
+        import repro.experiments.runner as runner
+        from repro.sim.engine import run_simulation as real
+
+        def flaky(config, workloads, **kwargs):
+            if kwargs.get("workload_name") == "canneal":
+                raise RuntimeError("injected fault")
+            return real(config, workloads, **kwargs)
+
+        monkeypatch.setattr(runner, "run_simulation", flaky)
+        runner.clear_cache()
+        store_dir = str(tmp_path / "store")
+        code = main([
+            "report", "--only", "figure8", "--store", store_dir, "--strict",
+            "--out", str(tmp_path / "r.md"),
+        ])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "PARTIAL exhibits: figure8" in err
+        # Without --strict the same partial report exits 0.
+        runner.clear_cache()
+        code = main([
+            "report", "--only", "figure8", "--store", store_dir,
+            "--out", str(tmp_path / "r2.md"),
+        ])
+        assert code == 0
+        runner.clear_cache()
+        runner.set_store(None)
 
 
 class TestTrace:

@@ -3,8 +3,17 @@
 import pytest
 
 from repro.core.schemes import Scheme
-from repro.experiments import figures
-from repro.experiments.runner import cache_size, clear_cache, run_point
+from repro.experiments import ablations, figures
+from repro.experiments import runner as runner_module
+from repro.experiments.runner import (
+    cache_size,
+    clear_cache,
+    default_seed,
+    default_total_accesses,
+    point_from_signature,
+    point_signature,
+    run_point,
+)
 from repro.experiments.tables import format_table
 
 TINY = dict(total_accesses=1_500)
@@ -40,6 +49,103 @@ class TestRunner:
             "gups", Scheme.CSALT_CD, partition_l2_only=True, **TINY
         )
         assert result.instructions > 0
+
+
+class TestLazyDefaults:
+    """REPRO_TOTAL_ACCESSES / REPRO_SEED are read per call, not at import."""
+
+    def test_env_change_takes_effect_without_reimport(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TOTAL_ACCESSES", "7777")
+        monkeypatch.setenv("REPRO_SEED", "42")
+        assert default_total_accesses() == 7777
+        assert default_seed() == 42
+        monkeypatch.setenv("REPRO_TOTAL_ACCESSES", "8888")
+        assert default_total_accesses() == 8888
+
+    def test_env_flows_into_signature(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TOTAL_ACCESSES", "3333")
+        monkeypatch.setenv("REPRO_SEED", "9")
+        signature = point_signature("gups", Scheme.POM_TLB)
+        assert signature["total_accesses"] == 3333
+        assert signature["seed"] == 9
+
+    def test_monkeypatched_module_constant_still_works(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TOTAL_ACCESSES", raising=False)
+        monkeypatch.setattr(runner_module, "DEFAULT_TOTAL_ACCESSES", 123)
+        assert default_total_accesses() == 123
+
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TOTAL_ACCESSES", "3333")
+        signature = point_signature("gups", Scheme.POM_TLB, total_accesses=55)
+        assert signature["total_accesses"] == 55
+
+
+class TestSignatures:
+    def test_signature_round_trips_to_kwargs(self):
+        signature = point_signature(
+            "gups", Scheme.CSALT_CD, replacement="nru", **TINY
+        )
+        kwargs = point_from_signature(signature)
+        assert kwargs["scheme"] is Scheme.CSALT_CD
+        assert kwargs["replacement"] == "nru"
+        assert kwargs["total_accesses"] == 1_500
+
+    def test_signature_is_json_able(self):
+        import json
+
+        signature = point_signature("gups", Scheme.POM_TLB, **TINY)
+        assert json.loads(json.dumps(signature)) == signature
+
+
+#: (run function, points function, restricted kwargs) for every exhibit.
+ENUMERATOR_CASES = [
+    (figures.run_figure1, figures.points_figure1, dict(mixes=("gups",))),
+    (figures.run_table1, figures.points_table1, dict(programs=("gups",))),
+    (figures.run_figure3, figures.points_figure3, dict(programs=("gups",))),
+    (figures.run_figure7, figures.points_figure7, dict(mixes=("gups",))),
+    (figures.run_figure8, figures.points_figure8, dict(mixes=("gups",))),
+    (figures.run_figure9, figures.points_figure9, dict(mix="gups")),
+    (figures.run_figure10, figures.points_figure10, dict(mixes=("gups",))),
+    (figures.run_figure11, figures.points_figure11, dict(mixes=("gups",))),
+    (figures.run_figure12, figures.points_figure12, dict(mixes=("gups",))),
+    (figures.run_figure13, figures.points_figure13, dict(mixes=("gups",))),
+    (figures.run_figure14, figures.points_figure14,
+     dict(mixes=("gups",), context_counts=(1, 2))),
+    (figures.run_figure15, figures.points_figure15,
+     dict(mixes=("gups",), epochs=(1_000, 2_000))),
+    (figures.run_figure16, figures.points_figure16,
+     dict(mixes=("gups",), intervals_ms=(5.0, 10.0))),
+    (ablations.run_static_vs_dynamic, ablations.points_static_vs_dynamic,
+     dict(mixes=("gups",))),
+    (ablations.run_pseudo_lru, ablations.points_pseudo_lru,
+     dict(mixes=("gups",))),
+    (ablations.run_partition_levels, ablations.points_partition_levels,
+     dict(mixes=("gups",))),
+    (ablations.run_five_level_paging, ablations.points_five_level_paging,
+     dict(mixes=("gups",))),
+    (ablations.run_tlb_prefetch, ablations.points_tlb_prefetch,
+     dict(mixes=("gups",))),
+]
+
+
+class TestPointEnumeration:
+    """The points_* mirrors must match what the run_* loops simulate —
+    otherwise a campaign would silently fall back to inline simulation."""
+
+    @pytest.mark.parametrize(
+        "run_fn,points_fn,kwargs",
+        ENUMERATOR_CASES,
+        ids=[case[0].__name__ for case in ENUMERATOR_CASES],
+    )
+    def test_enumerated_points_match_simulated(self, run_fn, points_fn, kwargs):
+        enumerated = {
+            runner_module._cache_key(signature)
+            for signature in points_fn(**kwargs, **TINY)
+        }
+        clear_cache()
+        run_fn(**kwargs, **TINY)
+        simulated = set(runner_module._cache)
+        assert simulated == enumerated
 
 
 class TestTables:

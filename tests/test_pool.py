@@ -1,0 +1,219 @@
+"""Campaign pool: dedup, resume, fault isolation, retry, parallel workers."""
+
+import os
+
+import pytest
+
+from repro.core.schemes import Scheme
+from repro.experiments import runner
+from repro.experiments.pool import (
+    CampaignInterrupted,
+    dedupe_signatures,
+    run_campaign,
+)
+from repro.experiments.store import ResultStore
+
+TINY = dict(total_accesses=1_500)
+
+
+@pytest.fixture(autouse=True)
+def fresh_runner():
+    runner.clear_cache()
+    runner.set_store(None)
+    yield
+    runner.clear_cache()
+    runner.set_store(None)
+
+
+def tiny_grid(mixes=("gups", "canneal"), schemes=(Scheme.POM_TLB,)):
+    return [
+        runner.point_signature(mix, scheme, **TINY)
+        for mix in mixes
+        for scheme in schemes
+    ]
+
+
+class TestDedup:
+    def test_duplicates_collapse(self):
+        grid = tiny_grid() + tiny_grid()
+        assert len(dedupe_signatures(grid)) == len(tiny_grid())
+
+    def test_order_preserved(self):
+        grid = tiny_grid()
+        assert dedupe_signatures(list(reversed(grid))) == list(reversed(grid))
+
+
+class TestInlineCampaign:
+    def test_simulates_and_seeds_cache(self):
+        summary = run_campaign(tiny_grid())
+        assert summary.total == 2
+        assert summary.simulated == 2
+        assert summary.ok
+        assert runner.cache_size() == 2
+
+    def test_cached_points_reused(self):
+        runner.run_point("gups", Scheme.POM_TLB, **TINY)
+        summary = run_campaign(tiny_grid())
+        assert summary.reused == 1
+        assert summary.simulated == 1
+
+    def test_store_resume_skips_persisted(self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path)
+        run_campaign(tiny_grid(), store=store)
+        assert len(store) == 2
+        runner.clear_cache()
+
+        def boom(*args, **kwargs):
+            raise AssertionError("resume should not re-simulate")
+
+        monkeypatch.setattr(runner, "run_simulation", boom)
+        summary = run_campaign(tiny_grid(), store=store, resume=True)
+        assert summary.loaded == 2
+        assert summary.simulated == 0
+
+    def test_fault_injection_continues_campaign(self, monkeypatch):
+        real = runner.run_simulation
+
+        def flaky(config, workloads, **kwargs):
+            if kwargs.get("workload_name") == "canneal":
+                raise RuntimeError("injected fault")
+            return real(config, workloads, **kwargs)
+
+        monkeypatch.setattr(runner, "run_simulation", flaky)
+        summary = run_campaign(tiny_grid())
+        assert summary.simulated == 1
+        assert len(summary.failures) == 1
+        assert "injected fault" in summary.failures[0].error
+        # The failed point is poisoned: exhibits fail fast, not slow.
+        with pytest.raises(runner.PointFailedError):
+            runner.run_point("canneal", Scheme.POM_TLB, **TINY)
+        # The healthy point is untouched.
+        assert runner.run_point("gups", Scheme.POM_TLB, **TINY)
+
+    def test_progress_messages(self):
+        messages = []
+        run_campaign(tiny_grid(), progress=messages.append)
+        assert any("simulated" in message for message in messages)
+
+
+class TestParallelCampaign:
+    def test_two_workers_complete_grid(self, tmp_path):
+        store = ResultStore(tmp_path)
+        summary = run_campaign(tiny_grid(), jobs=2, store=store)
+        assert summary.simulated == 2
+        assert summary.ok
+        assert len(store) == 2
+        # Parent can now render from memory without touching workers.
+        assert runner.cache_size() == 2
+
+    def test_worker_results_equal_inline(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_campaign(tiny_grid(mixes=("gups",)), jobs=2, store=store)
+        parallel = runner.run_point("gups", Scheme.POM_TLB, **TINY)
+        runner.clear_cache()
+        runner.set_store(None)
+        inline = runner.run_point("gups", Scheme.POM_TLB, **TINY)
+        parallel_dict = parallel.to_dict()
+        inline_dict = inline.to_dict()
+        parallel_dict["extra"].pop("host_seconds", None)
+        inline_dict["extra"].pop("host_seconds", None)
+        assert parallel_dict == inline_dict
+
+    def test_worker_exception_fails_point_without_retry(self, monkeypatch):
+        real = runner.run_simulation
+
+        def flaky(config, workloads, **kwargs):
+            if kwargs.get("workload_name") == "canneal":
+                raise RuntimeError("injected fault")
+            return real(config, workloads, **kwargs)
+
+        # Workers are forked, so the monkeypatch propagates to them.
+        monkeypatch.setattr(runner, "run_simulation", flaky)
+        summary = run_campaign(tiny_grid(), jobs=2, backoff=0.0)
+        assert summary.simulated == 1
+        assert len(summary.failures) == 1
+        assert summary.failures[0].attempts == 1
+        assert "injected fault" in summary.failures[0].error
+
+    def test_killed_worker_retries_then_fails(self, monkeypatch):
+        real = runner.run_simulation
+
+        def crashing(config, workloads, **kwargs):
+            if kwargs.get("workload_name") == "canneal":
+                os._exit(17)  # simulate an OOM kill: no traceback, no message
+            return real(config, workloads, **kwargs)
+
+        monkeypatch.setattr(runner, "run_simulation", crashing)
+        summary = run_campaign(tiny_grid(), jobs=2, retries=1, backoff=0.0)
+        assert summary.simulated == 1
+        assert len(summary.failures) == 1
+        failure = summary.failures[0]
+        assert failure.attempts == 2  # first try + one retry
+        assert "worker died" in failure.error
+
+    def test_transient_crash_recovers_on_retry(self, tmp_path, monkeypatch):
+        marker = tmp_path / "crashed-once"
+        real = runner.run_simulation
+
+        def crash_once(config, workloads, **kwargs):
+            if kwargs.get("workload_name") == "canneal" and not marker.exists():
+                marker.write_text("x")
+                os._exit(17)
+            return real(config, workloads, **kwargs)
+
+        monkeypatch.setattr(runner, "run_simulation", crash_once)
+        summary = run_campaign(tiny_grid(), jobs=2, retries=2, backoff=0.0)
+        assert summary.ok
+        assert summary.simulated == 2
+
+    def test_timeout_retries_point(self, monkeypatch):
+        import time as time_module
+
+        real = runner.run_simulation
+
+        def hanging(config, workloads, **kwargs):
+            if kwargs.get("workload_name") == "canneal":
+                time_module.sleep(60)
+            return real(config, workloads, **kwargs)
+
+        monkeypatch.setattr(runner, "run_simulation", hanging)
+        summary = run_campaign(
+            tiny_grid(), jobs=2, timeout=1.0, retries=0, backoff=0.0,
+        )
+        assert summary.simulated == 1
+        assert len(summary.failures) == 1
+        assert "timed out" in summary.failures[0].error
+
+
+class TestInterrupt:
+    def test_inline_interrupt_persists_completed(self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path)
+        real = runner.run_simulation
+        calls = []
+
+        def interrupt_second(config, workloads, **kwargs):
+            calls.append(kwargs.get("workload_name"))
+            if len(calls) == 2:
+                raise KeyboardInterrupt
+            return real(config, workloads, **kwargs)
+
+        monkeypatch.setattr(runner, "run_simulation", interrupt_second)
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(
+                tiny_grid(mixes=("gups", "canneal", "pagerank")), store=store
+            )
+        assert len(store) == 1  # the completed point survived
+
+        # Resume: only the missing points are simulated.
+        monkeypatch.setattr(runner, "run_simulation", real)
+        runner.clear_cache()
+        summary = run_campaign(
+            tiny_grid(mixes=("gups", "canneal", "pagerank")),
+            store=store, resume=True,
+        )
+        assert summary.loaded == 1
+        assert summary.simulated == 2
+        assert summary.ok
+
+    def test_campaign_interrupted_is_keyboard_interrupt(self):
+        assert issubclass(CampaignInterrupted, KeyboardInterrupt)

@@ -202,3 +202,49 @@ class TestToDict:
         assert document["ipc"] == pytest.approx(2.0)
         assert document["l2_tlb_mpki"] == pytest.approx(10.0)
         assert document["instructions"] == 1000
+
+
+class TestFromDict:
+    def test_simulation_result_round_trip(self):
+        result = make_result(
+            occupancy_samples=[OccupancySample(10, 0.2, 0.4)],
+            l2_partition_timeline=[(50, 0.75)],
+            l3_partition_timeline=[(0, 0.5), (100, 0.25)],
+            extra={"context_switches": 4, "seed": 7},
+        )
+        clone = SimulationResult.from_dict(
+            json.loads(json.dumps(result.to_dict()))
+        )
+        assert clone.to_dict() == result.to_dict()
+        assert clone.l3_partition_timeline == [(0, 0.5), (100, 0.25)]
+        assert clone.occupancy_samples == result.occupancy_samples
+
+    def test_ints_stay_ints_through_json(self):
+        result = make_result(extra={"context_switches": 4, "seed": 7})
+        clone = SimulationResult.from_dict(
+            json.loads(json.dumps(result.to_dict()))
+        )
+        assert clone.extra["context_switches"] == 4
+        assert isinstance(clone.extra["context_switches"], int)
+        assert isinstance(clone.extra["seed"], int)
+        assert isinstance(clone.per_core[0].instructions, int)
+        assert isinstance(clone.l2_cache_misses, int)
+
+    def test_derived_metrics_recomputed_not_trusted(self):
+        result = make_result()
+        document = result.to_dict()
+        document["ipc"] = 999.0  # tampering with a derived field is inert
+        clone = SimulationResult.from_dict(document)
+        assert clone.ipc == pytest.approx(result.ipc)
+
+    def test_core_stats_round_trip(self):
+        core = CoreStats(
+            instructions=1000, cycles=500.0, memory_accesses=300,
+            translation_stall_cycles=12.5, data_stall_cycles=7.25,
+            l1_tlb_misses=20, l2_tlb_misses=10, page_walks=3,
+        )
+        assert CoreStats.from_dict(core.to_dict()) == core
+
+    def test_occupancy_sample_round_trip(self):
+        sample = OccupancySample(10, 0.2, 0.4)
+        assert OccupancySample.from_dict(sample.to_dict()) == sample

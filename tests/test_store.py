@@ -1,0 +1,182 @@
+"""Persistent result store: round trips, atomicity, corruption handling."""
+
+import json
+
+import pytest
+
+from repro.core.schemes import Scheme
+from repro.experiments import runner
+from repro.experiments.store import (
+    ResultStore,
+    signature_key,
+    strip_host_fields,
+)
+from repro.sim.stats import SimulationResult
+
+TINY = dict(total_accesses=1_500)
+
+
+@pytest.fixture(autouse=True)
+def fresh_runner():
+    runner.clear_cache()
+    runner.set_store(None)
+    yield
+    runner.clear_cache()
+    runner.set_store(None)
+
+
+def tiny_point():
+    signature = runner.point_signature("gups", Scheme.POM_TLB, **TINY)
+    result = runner.run_point("gups", Scheme.POM_TLB, **TINY)
+    return signature, result
+
+
+class TestSignatureKey:
+    def test_deterministic(self):
+        signature = runner.point_signature("gups", Scheme.POM_TLB, **TINY)
+        assert signature_key(signature) == signature_key(dict(signature))
+
+    def test_key_order_independent(self):
+        signature = runner.point_signature("gups", Scheme.POM_TLB, **TINY)
+        shuffled = dict(sorted(signature.items(), reverse=True))
+        assert signature_key(signature) == signature_key(shuffled)
+
+    def test_distinct_points_distinct_keys(self):
+        a = runner.point_signature("gups", Scheme.POM_TLB, **TINY)
+        b = runner.point_signature("gups", Scheme.POM_TLB, contexts=1, **TINY)
+        assert signature_key(a) != signature_key(b)
+
+
+class TestRoundTrip:
+    def test_save_load_equal_stats(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        signature, result = tiny_point()
+        store.save(signature, result)
+        loaded = store.load(signature)
+        assert loaded is not None
+        assert loaded.to_dict() == strip_host_fields(result.to_dict())
+        assert loaded.ipc == pytest.approx(result.ipc)
+        assert loaded.l2_tlb_mpki == pytest.approx(result.l2_tlb_mpki)
+
+    def test_ints_survive(self, tmp_path):
+        store = ResultStore(tmp_path)
+        signature, result = tiny_point()
+        store.save(signature, result)
+        loaded = store.load(signature)
+        assert isinstance(loaded.extra["seed"], int)
+        assert isinstance(loaded.extra["context_switches"], int)
+        assert isinstance(loaded.per_core[0].instructions, int)
+
+    def test_host_fields_not_persisted(self, tmp_path):
+        store = ResultStore(tmp_path)
+        signature, result = tiny_point()
+        assert "host_seconds" in result.extra
+        store.save(signature, result)
+        assert "host_seconds" not in store.load(signature).extra
+
+    def test_persisted_payload_deterministic(self, tmp_path):
+        """Same point simulated twice -> byte-identical store entries."""
+        store = ResultStore(tmp_path)
+        signature, result = tiny_point()
+        path = store.save(signature, result)
+        first = path.read_bytes()
+        runner.clear_cache()
+        _, rerun = tiny_point()
+        store.save(signature, rerun)
+        assert path.read_bytes() == first
+
+    def test_missing_entry_is_none(self, tmp_path):
+        store = ResultStore(tmp_path)
+        signature = runner.point_signature("gups", Scheme.POM_TLB, **TINY)
+        assert store.load(signature) is None
+        assert not store.contains(signature)
+
+
+class TestRobustness:
+    def test_no_temp_files_left(self, tmp_path):
+        store = ResultStore(tmp_path)
+        signature, result = tiny_point()
+        store.save(signature, result)
+        assert not list(tmp_path.glob(".tmp-*"))
+        assert len(store) == 1
+
+    def test_corrupt_entry_is_warned_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        signature, result = tiny_point()
+        path = store.save(signature, result)
+        path.write_text("{ truncated")
+        with pytest.warns(RuntimeWarning, match="unreadable"):
+            assert store.load(signature) is None
+
+    def test_signature_mismatch_is_warned_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        signature, result = tiny_point()
+        path = store.save(signature, result)
+        document = json.loads(path.read_text())
+        document["signature"]["seed"] = 999
+        path.write_text(json.dumps(document))
+        with pytest.warns(RuntimeWarning, match="malformed"):
+            assert store.load(signature) is None
+
+    def test_schema_version_mismatch_is_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        signature, result = tiny_point()
+        path = store.save(signature, result)
+        document = json.loads(path.read_text())
+        document["schema_version"] = 999
+        path.write_text(json.dumps(document))
+        with pytest.warns(RuntimeWarning, match="malformed"):
+            assert store.load(signature) is None
+
+    def test_signatures_iterates_entries(self, tmp_path):
+        store = ResultStore(tmp_path)
+        signature, result = tiny_point()
+        store.save(signature, result)
+        assert list(store.signatures()) == [dict(signature)]
+
+
+class TestRunnerIntegration:
+    def test_run_point_writes_through(self, tmp_path):
+        store = ResultStore(tmp_path)
+        runner.set_store(store)
+        runner.run_point("gups", Scheme.POM_TLB, **TINY)
+        assert len(store) == 1
+
+    def test_run_point_loads_instead_of_simulating(self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path)
+        runner.set_store(store)
+        result = runner.run_point("gups", Scheme.POM_TLB, **TINY)
+        runner.clear_cache()
+
+        def boom(*args, **kwargs):
+            raise AssertionError("should have loaded from the store")
+
+        monkeypatch.setattr(runner, "run_simulation", boom)
+        loaded = runner.run_point("gups", Scheme.POM_TLB, **TINY)
+        assert loaded.to_dict()["ipc"] == pytest.approx(result.ipc)
+
+    def test_write_only_mode_ignores_existing(self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path)
+        runner.set_store(store)
+        runner.run_point("gups", Scheme.POM_TLB, **TINY)
+        runner.clear_cache()
+        simulated = []
+        real = runner.run_simulation
+
+        def counting(*args, **kwargs):
+            simulated.append(1)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(runner, "run_simulation", counting)
+        runner.set_store(store, consult=False)
+        runner.run_point("gups", Scheme.POM_TLB, **TINY)
+        assert simulated  # fresh mode re-simulates despite the store entry
+
+
+class TestFromDict:
+    def test_round_trip_exact(self):
+        _, result = tiny_point()
+        clone = SimulationResult.from_dict(result.to_dict())
+        assert clone.to_dict() == result.to_dict()
+        assert clone.l2_partition_timeline == result.l2_partition_timeline
+        assert clone.occupancy_samples == result.occupancy_samples
