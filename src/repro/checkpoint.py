@@ -1,0 +1,336 @@
+"""Checkpoint/restore of in-flight simulations, plus the stall watchdog.
+
+A long CSALT run that dies at 95% should not restart from access 0.
+This module gives the engine (see :func:`repro.sim.engine.run_simulation`)
+three cooperating pieces:
+
+* a **snapshot envelope** — :func:`write_checkpoint` /
+  :func:`read_checkpoint` store an arbitrary plain-data document as
+  ``magic line + JSON header + pickled payload``.  The header carries a
+  format version, the payload length and its SHA-256, so a torn or
+  bit-rotted file is rejected loudly (:class:`CheckpointError`) instead
+  of resuming a half-written state.  Writes are atomic: a temp file in
+  the target directory is fsynced and ``os.replace``d into place, so a
+  crash mid-write leaves the previous checkpoint intact;
+* a :class:`CheckpointWriter` — names snapshots by their access count
+  (``ckpt-000000120000.ckpt``), prunes old ones, and tracks write
+  latency for telemetry;
+* a :class:`StallWatchdog` — a daemon thread fed a heartbeat
+  (the engine's access counter) that trips when the counter stops
+  advancing for ``timeout_seconds`` of wall-clock time.  The watchdog
+  never touches simulator state itself (it runs concurrently with the
+  main loop); it interrupts the main thread, which then snapshots the
+  stalled state single-threadedly and raises :class:`SimulationStalled`.
+
+The checkpoint *document* layout is owned by the engine; components
+contribute via their ``state_dict()``/``load_state()`` methods (see
+``docs/robustness.md`` for the catalogue and versioning rules).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+import threading
+import time
+import _thread
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+#: First line of every checkpoint file.
+MAGIC = b"repro-checkpoint"
+
+#: Bump whenever the envelope or the snapshot document layout changes
+#: incompatibly.  Readers reject other versions instead of guessing.
+FORMAT_VERSION = 1
+
+#: Pinned pickle protocol: stable across the CPython versions CI runs,
+#: so a checkpoint written under 3.12 restores under 3.10.
+_PICKLE_PROTOCOL = 4
+
+_CHECKPOINT_SUFFIX = ".ckpt"
+_CHECKPOINT_PREFIX = "ckpt-"
+_STALL_PREFIX = "stall-"
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint could not be written, read, or trusted."""
+
+
+class SimulationStalled(RuntimeError):
+    """The watchdog saw the access counter stop advancing.
+
+    Carries enough context for the campaign pool and the CLI to report
+    the stall precisely (and, when checkpointing was on, where the
+    post-mortem snapshot landed).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        executed: int,
+        timeout_seconds: float,
+        snapshot_path: Optional[str] = None,
+    ):
+        super().__init__(message)
+        self.executed = executed
+        self.timeout_seconds = timeout_seconds
+        self.snapshot_path = snapshot_path
+
+
+# ----------------------------------------------------------------------
+# Envelope
+# ----------------------------------------------------------------------
+def write_checkpoint(
+    path: os.PathLike,
+    document: object,
+    meta: Optional[Dict[str, object]] = None,
+) -> Path:
+    """Atomically write ``document`` as a versioned, checksummed snapshot.
+
+    ``meta`` (JSON-able) is merged into the header — the engine records
+    the executed-access count there so tools can rank checkpoints
+    without unpickling the payload.
+    """
+    target = Path(path)
+    try:
+        payload = pickle.dumps(document, protocol=_PICKLE_PROTOCOL)
+    except Exception as exc:  # unpicklable state is a programming error
+        raise CheckpointError(f"cannot serialize checkpoint: {exc}") from exc
+    header = {
+        "format": FORMAT_VERSION,
+        "payload_bytes": len(payload),
+        "sha256": hashlib.sha256(payload).hexdigest(),
+    }
+    if meta:
+        header.update(meta)
+    header_line = json.dumps(header, sort_keys=True).encode("utf-8")
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=target.name + ".", suffix=".tmp", dir=target.parent
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(MAGIC + b"\n")
+            handle.write(header_line + b"\n")
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, target)
+    except OSError as exc:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise CheckpointError(f"cannot write checkpoint {target}: {exc}") from exc
+    try:  # make the rename itself durable; best-effort on odd filesystems
+        dir_fd = os.open(target.parent, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+    except OSError:
+        pass
+    return target
+
+
+def read_checkpoint(path: os.PathLike) -> Tuple[object, Dict[str, object]]:
+    """Read and verify a checkpoint; returns ``(document, header)``.
+
+    Raises :class:`CheckpointError` on any mismatch — wrong magic,
+    unknown format version, truncated payload, or checksum failure.
+    """
+    target = Path(path)
+    try:
+        with open(target, "rb") as handle:
+            magic = handle.readline().rstrip(b"\n")
+            if magic != MAGIC:
+                raise CheckpointError(
+                    f"{target} is not a repro checkpoint "
+                    f"(bad magic {magic[:32]!r})"
+                )
+            try:
+                header = json.loads(handle.readline().decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise CheckpointError(
+                    f"{target} has a corrupt header: {exc}"
+                ) from exc
+            version = header.get("format")
+            if version != FORMAT_VERSION:
+                raise CheckpointError(
+                    f"{target} has format version {version!r}; this build "
+                    f"reads version {FORMAT_VERSION}"
+                )
+            payload = handle.read()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {target}: {exc}") from exc
+    expected_bytes = header.get("payload_bytes")
+    if expected_bytes != len(payload):
+        raise CheckpointError(
+            f"{target} is truncated: header promises {expected_bytes} "
+            f"payload bytes, file holds {len(payload)}"
+        )
+    digest = hashlib.sha256(payload).hexdigest()
+    if digest != header.get("sha256"):
+        raise CheckpointError(
+            f"{target} failed its checksum: payload sha256 {digest} != "
+            f"header {header.get('sha256')}"
+        )
+    try:
+        document = pickle.loads(payload)
+    except Exception as exc:
+        raise CheckpointError(
+            f"{target} passed its checksum but cannot be unpickled: {exc}"
+        ) from exc
+    return document, header
+
+
+def checkpoint_name(executed: int) -> str:
+    """Snapshot filename for an access count; sorts chronologically."""
+    return f"{_CHECKPOINT_PREFIX}{executed:012d}{_CHECKPOINT_SUFFIX}"
+
+
+def list_checkpoints(directory: os.PathLike) -> List[Path]:
+    """Regular checkpoints in ``directory``, oldest first (stall snapshots
+    are post-mortem artifacts and are deliberately excluded)."""
+    root = Path(directory)
+    if not root.is_dir():
+        return []
+    return sorted(
+        entry for entry in root.iterdir()
+        if entry.name.startswith(_CHECKPOINT_PREFIX)
+        and entry.name.endswith(_CHECKPOINT_SUFFIX)
+    )
+
+
+def latest_checkpoint(directory: os.PathLike) -> Optional[Path]:
+    """The newest resumable checkpoint in ``directory``, or ``None``."""
+    found = list_checkpoints(directory)
+    return found[-1] if found else None
+
+
+class CheckpointWriter:
+    """Writes access-count-named snapshots into a directory and prunes.
+
+    ``keep`` bounds disk usage: after each write, only the newest
+    ``keep`` regular checkpoints survive.  Stall snapshots (written by
+    the engine's watchdog path) are never pruned — they are the evidence.
+    """
+
+    def __init__(self, directory: os.PathLike, keep: int = 3):
+        if keep < 1:
+            raise ValueError(f"keep must be positive, got {keep}")
+        self.directory = Path(directory)
+        self.keep = keep
+        self.written = 0
+        self.last_write_seconds = 0.0
+
+    def write(self, executed: int, document: object) -> Path:
+        started = time.perf_counter()
+        path = write_checkpoint(
+            self.directory / checkpoint_name(executed),
+            document,
+            meta={"executed": executed},
+        )
+        self.last_write_seconds = time.perf_counter() - started
+        self.written += 1
+        self._prune()
+        return path
+
+    def write_stall(self, executed: int, document: object) -> Path:
+        """Post-mortem snapshot of a stalled run (never pruned, may be
+        mid-access and is marked as such in the header)."""
+        name = f"{_STALL_PREFIX}{executed:012d}{_CHECKPOINT_SUFFIX}"
+        return write_checkpoint(
+            self.directory / name,
+            document,
+            meta={"executed": executed, "stalled": True, "consistent": False},
+        )
+
+    def _prune(self) -> None:
+        stale = list_checkpoints(self.directory)[:-self.keep]
+        for path in stale:
+            try:
+                path.unlink()
+            except OSError:  # pruning is best-effort
+                pass
+
+
+# ----------------------------------------------------------------------
+# Stall watchdog
+# ----------------------------------------------------------------------
+class StallWatchdog:
+    """Flags a simulation whose heartbeat value stops advancing.
+
+    The engine calls :meth:`beat` with its access counter every round;
+    a daemon thread polls, and if the value has not changed for
+    ``timeout_seconds`` it sets :attr:`tripped` and interrupts the main
+    thread (a ``KeyboardInterrupt`` at the next bytecode boundary).  The
+    *engine* — on its own, now-consistent thread — distinguishes a
+    watchdog trip from a user Ctrl-C via :attr:`tripped`, snapshots the
+    state, and raises :class:`SimulationStalled`.
+
+    The watchdog is intentionally dumb: it never reads or writes
+    simulator structures, so it cannot race them.
+    """
+
+    def __init__(
+        self, timeout_seconds: float, poll_seconds: Optional[float] = None
+    ):
+        if timeout_seconds <= 0:
+            raise ValueError(
+                f"watchdog timeout must be positive, got {timeout_seconds}"
+            )
+        self.timeout_seconds = timeout_seconds
+        self._poll = poll_seconds if poll_seconds else min(
+            1.0, timeout_seconds / 4
+        )
+        self.tripped = False
+        self._value: object = None
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def beat(self, value: object) -> None:
+        """Record progress (cheap: one attribute store; thread-safe)."""
+        self._value = value
+
+    def start(self) -> None:
+        if self._thread is not None:
+            raise RuntimeError("watchdog already started")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-stall-watchdog", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    def __enter__(self) -> "StallWatchdog":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        last_value = self._value
+        last_advance = time.monotonic()
+        while not self._stop.wait(self._poll):
+            value = self._value
+            now = time.monotonic()
+            if value != last_value:
+                last_value = value
+                last_advance = now
+                continue
+            if now - last_advance >= self.timeout_seconds:
+                self.tripped = True
+                _thread.interrupt_main()
+                return

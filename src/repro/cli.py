@@ -72,6 +72,28 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--levels", type=int, default=4, choices=(4, 5),
                      help="page-table depth (5 = Intel LA57)")
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--replacement", default="lru",
+                     choices=("lru", "nru", "plru", "rrip"),
+                     help="cache replacement policy")
+    run.add_argument("--checkpoint-every", type=_positive_int, default=None,
+                     metavar="N",
+                     help="snapshot the whole machine every N accesses "
+                          "(requires --checkpoint-dir)")
+    run.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                     help="directory for checkpoint snapshots")
+    run.add_argument("--restore", default=None, metavar="PATH",
+                     help="resume from a snapshot; 'auto' picks the newest "
+                          "in --checkpoint-dir (fresh run if none)")
+    run.add_argument("--check-invariants", type=_positive_int, default=None,
+                     metavar="M",
+                     help="audit every simulator structure each M accesses "
+                          "(LRU stacks, partition sums, TLB/page-table "
+                          "coherence, counter monotonicity)")
+    run.add_argument("--watchdog-timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="declare the run stalled after this many "
+                          "wall-clock seconds without forward progress "
+                          "(state is snapshotted before aborting)")
     run.add_argument("--baseline", action="store_true",
                      help="also run POM-TLB and report relative IPC")
     run.add_argument("--json", action="store_true",
@@ -130,6 +152,11 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--retries", type=int, default=2, metavar="N",
                         help="retry budget for transient point failures "
                              "(worker killed, timeout)")
+    report.add_argument("--checkpoint-every", type=_positive_int,
+                        default=None, metavar="N",
+                        help="checkpoint in-flight points every N accesses "
+                             "(only with --jobs > 1 and --store; a killed "
+                             "worker's retry resumes mid-simulation)")
 
     commands.add_parser("mixes", help="list programs and VM pairings")
 
@@ -195,6 +222,16 @@ def _build_telemetry(args: argparse.Namespace) -> Optional[Telemetry]:
 
 
 def _command_run(args: argparse.Namespace) -> int:
+    from repro.checkpoint import CheckpointError, SimulationStalled
+    from repro.validate import InvariantViolation
+
+    if args.checkpoint_every is not None and args.checkpoint_dir is None:
+        print("--checkpoint-every requires --checkpoint-dir DIR",
+              file=sys.stderr)
+        return 2
+    if args.restore == "auto" and args.checkpoint_dir is None:
+        print("--restore auto requires --checkpoint-dir DIR", file=sys.stderr)
+        return 2
     scheme = _SCHEME_BY_NAME[args.scheme]
     config = small_config(
         scheme=scheme,
@@ -202,6 +239,7 @@ def _command_run(args: argparse.Namespace) -> int:
         virtualized=not args.native,
         switch_interval_ms=args.switch_ms,
         page_table_levels=args.levels,
+        replacement=args.replacement,
     )
     workloads = make_mix(args.mix, contexts=args.contexts, scale=0.25)
     telemetry = _build_telemetry(args)
@@ -210,10 +248,27 @@ def _command_run(args: argparse.Namespace) -> int:
         def progress(update):
             print(f"\r{update.format()}", end="", file=sys.stderr, flush=True)
     started = perf_counter()
-    result = run_simulation(
-        config, workloads, total_accesses=args.accesses, seed=args.seed,
-        workload_name=args.mix, telemetry=telemetry, progress=progress,
-    )
+    try:
+        result = run_simulation(
+            config, workloads, total_accesses=args.accesses, seed=args.seed,
+            workload_name=args.mix, telemetry=telemetry, progress=progress,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_dir=args.checkpoint_dir,
+            restore=args.restore,
+            check_invariants=args.check_invariants,
+            watchdog_timeout=args.watchdog_timeout,
+        )
+    except InvariantViolation as exc:
+        print(f"invariant violation: {exc}", file=sys.stderr)
+        for other in exc.others:
+            print(f"also: {other}", file=sys.stderr)
+        return 3
+    except SimulationStalled as exc:
+        print(f"stalled: {exc}", file=sys.stderr)
+        return 3
+    except CheckpointError as exc:
+        print(f"checkpoint error: {exc}", file=sys.stderr)
+        return 3
     if args.progress:
         print(file=sys.stderr)
     baseline = None
@@ -305,6 +360,9 @@ def _command_report(args: argparse.Namespace) -> int:
     if args.resume and args.store is None:
         print("--resume requires --store DIR", file=sys.stderr)
         return 2
+    if args.checkpoint_every is not None and args.store is None:
+        print("--checkpoint-every requires --store DIR", file=sys.stderr)
+        return 2
     store = ResultStore(args.store) if args.store else None
     try:
         document = report_module.build_report(
@@ -315,6 +373,7 @@ def _command_report(args: argparse.Namespace) -> int:
             resume=args.resume,
             timeout=args.timeout,
             retries=args.retries,
+            checkpoint_every=args.checkpoint_every,
         )
     except KeyboardInterrupt as exc:
         # Everything already simulated was persisted write-through; a

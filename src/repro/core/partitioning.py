@@ -13,7 +13,7 @@ decisions used to reproduce Figure 9.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
 
 from repro.core.stack_distance import ProfilerPair
@@ -297,3 +297,23 @@ class PartitionController:
     def tlb_fraction_timeline(self) -> List[Tuple[int, float]]:
         """(access count, TLB way share) pairs — the Figure 9 series."""
         return [(d.access_count, d.tlb_fraction) for d in self.timeline]
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """The cache's installed split is restored by the cache's own
+        ``load_state``; this covers the controller's profilers, epoch
+        position, and decision timeline."""
+        return {
+            "profilers": self.profilers.state_dict(),
+            "accesses_in_epoch": self._accesses_in_epoch,
+            "total_accesses": self.total_accesses,
+            "timeline": [replace(decision) for decision in self.timeline],
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.profilers.load_state(state["profilers"])
+        self._accesses_in_epoch = state["accesses_in_epoch"]
+        self.total_accesses = state["total_accesses"]
+        self.timeline = [replace(decision) for decision in state["timeline"]]

@@ -101,6 +101,24 @@ class StackDistanceProfiler:
         self.counters = [0] * (self.ways + 1)
         self._shadow.clear()
 
+    def state_dict(self) -> dict:
+        return {
+            "counters": list(self.counters),
+            "shadow": {index: list(stack) for index, stack in self._shadow.items()},
+        }
+
+    def load_state(self, state: dict) -> None:
+        counters = state["counters"]
+        if len(counters) != self.ways + 1:
+            raise ValueError(
+                f"profiler snapshot has {len(counters)} counters, expected "
+                f"{self.ways + 1}"
+            )
+        self.counters = list(counters)
+        self._shadow = {
+            index: list(stack) for index, stack in state["shadow"].items()
+        }
+
 
 @dataclass
 class ProfilerPair:
@@ -119,3 +137,10 @@ class ProfilerPair:
     def decay(self, shift: int = 1) -> None:
         self.data.decay(shift)
         self.tlb.decay(shift)
+
+    def state_dict(self) -> dict:
+        return {"data": self.data.state_dict(), "tlb": self.tlb.state_dict()}
+
+    def load_state(self, state: dict) -> None:
+        self.data.load_state(state["data"])
+        self.tlb.load_state(state["tlb"])

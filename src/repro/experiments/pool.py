@@ -28,10 +28,12 @@ collecting it.
 from __future__ import annotations
 
 import multiprocessing
+import shutil
 import signal
 import threading
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments import runner
@@ -120,7 +122,14 @@ def dedupe_signatures(signatures: Sequence[Signature]) -> List[Signature]:
     return unique
 
 
-def _worker_entry(signature: Signature, store_root, conn) -> None:
+def _point_checkpoint_dir(store_root, signature: Signature) -> Path:
+    """Where a point's in-flight snapshots live: keyed like the store."""
+    return Path(store_root) / "checkpoints" / signature_key(signature)
+
+
+def _worker_entry(
+    signature: Signature, store_root, conn, checkpoint_every=None
+) -> None:
     """Simulate one point in a child process and ship the result back."""
     try:
         signal.signal(signal.SIGINT, signal.SIG_IGN)
@@ -131,7 +140,21 @@ def _worker_entry(signature: Signature, store_root, conn) -> None:
             # Write-through only: the parent already established this
             # point is missing, so reading the store back is pointless.
             runner.set_store(ResultStore(store_root), consult=False)
-        result = runner.run_point(**runner.point_from_signature(signature))
+        kwargs = runner.point_from_signature(signature)
+        checkpoint_dir: Optional[Path] = None
+        if checkpoint_every is not None and store_root is not None:
+            # A killed/timed-out worker leaves its snapshots behind; the
+            # retry restores the newest one (restore="auto" runs fresh
+            # when there is none yet) instead of starting over.
+            checkpoint_dir = _point_checkpoint_dir(store_root, signature)
+            kwargs.update(
+                checkpoint_every=checkpoint_every,
+                checkpoint_dir=str(checkpoint_dir),
+                restore="auto",
+            )
+        result = runner.run_point(**kwargs)
+        if checkpoint_dir is not None:
+            shutil.rmtree(checkpoint_dir, ignore_errors=True)
         conn.send(("ok", result.to_dict()))
     except Exception as exc:
         try:
@@ -184,6 +207,7 @@ def run_campaign(
     retries: int = DEFAULT_RETRIES,
     backoff: float = DEFAULT_BACKOFF_SECONDS,
     progress: Optional[Progress] = None,
+    checkpoint_every: Optional[int] = None,
 ) -> CampaignSummary:
     """Drain ``signatures`` and return what happened to each unique point.
 
@@ -193,6 +217,12 @@ def run_campaign(
     optional per-point ``timeout``; killed or timed-out workers are
     retried with exponential backoff, exceptions raised *inside* the
     simulation are deterministic and fail the point immediately.
+
+    ``checkpoint_every`` (needs ``store``, effective with ``jobs > 1``)
+    makes workers snapshot in-flight points every N accesses under
+    ``<store>/checkpoints/<signature-key>``; the retry of a killed or
+    timed-out worker resumes from the newest snapshot instead of
+    restarting, and a completed point's snapshots are deleted.
 
     Raises :class:`CampaignInterrupted` after SIGINT, once everything
     already simulated has been persisted.
@@ -227,6 +257,7 @@ def run_campaign(
                 todo, summary, latch, note,
                 jobs=jobs, store=store, timeout=timeout,
                 retries=retries, backoff=backoff,
+                checkpoint_every=checkpoint_every,
             )
         if latch.interrupted:
             raise CampaignInterrupted(
@@ -285,6 +316,7 @@ def _run_parallel(
     timeout: Optional[float],
     retries: int,
     backoff: float,
+    checkpoint_every: Optional[int] = None,
 ) -> None:
     """Process-per-point execution with timeout, retry and SIGINT drain."""
     # Prefer fork: cheap starts, and the child sees the parent's runtime
@@ -302,7 +334,7 @@ def _run_parallel(
         parent_conn, child_conn = context.Pipe(duplex=False)
         process = context.Process(
             target=_worker_entry,
-            args=(attempt.signature, store_root, child_conn),
+            args=(attempt.signature, store_root, child_conn, checkpoint_every),
             daemon=True,
         )
         attempt.attempts += 1

@@ -134,6 +134,7 @@ def build_report(
     resume: bool = False,
     timeout: Optional[float] = None,
     retries: int = 2,
+    checkpoint_every: Optional[int] = None,
 ) -> ReportDocument:
     """Generate the report, optionally through a crash-safe campaign.
 
@@ -152,6 +153,7 @@ def build_report(
             enumerate_points(selected),
             jobs=jobs, store=store, resume=resume,
             timeout=timeout, retries=retries, progress=progress,
+            checkpoint_every=checkpoint_every,
         )
         progress(f"campaign: {campaign.format()}")
     document = ReportDocument(text="", campaign=campaign)

@@ -166,10 +166,20 @@ def run_point(
     tlb_prefetch: bool = False,
     total_accesses: Optional[int] = None,
     seed: Optional[int] = None,
+    *,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_dir: Optional[str] = None,
+    restore: Optional[str] = None,
 ) -> SimulationResult:
     """Run one evaluation point, consulting memory, then disk, then
     simulating; a freshly simulated result is written through to the
-    attached store (when one is set) before it is returned."""
+    attached store (when one is set) before it is returned.
+
+    The keyword-only checkpoint knobs are run-control, not identity: they
+    are deliberately **absent** from :func:`point_signature`, since a
+    resumed run is bit-identical to an uninterrupted one (the engine's
+    determinism oracle) and must share its cache/store entry.
+    """
     signature = point_signature(
         mix_name, scheme, contexts, virtualized, switch_interval_ms,
         epoch_accesses, replacement, estimate_positions, static_data_ways,
@@ -207,15 +217,20 @@ def run_point(
         overrides["epoch_accesses"] = epoch_accesses
     config = small_config(**overrides)
     workloads = make_mix(mix_name, contexts=contexts, scale=WORKLOAD_SCALE)
+    checkpoint_kwargs = dict(
+        checkpoint_every=checkpoint_every,
+        checkpoint_dir=checkpoint_dir,
+        restore=restore,
+    )
     if partition_l2_only or partition_l3_only:
         result = _run_partial_partition(
             config, workloads, total, run_seed, mix_name,
-            partition_l2_only, partition_l3_only,
+            partition_l2_only, partition_l3_only, **checkpoint_kwargs,
         )
     else:
         result = run_simulation(
             config, workloads, total_accesses=total, seed=run_seed,
-            workload_name=mix_name,
+            workload_name=mix_name, **checkpoint_kwargs,
         )
     _cache[key] = result
     if _store is not None:
@@ -240,6 +255,7 @@ def _run_partial_partition(
     mix_name: str,
     l2_only: bool,
     l3_only: bool,
+    **checkpoint_kwargs,
 ) -> SimulationResult:
     """Ablation: disable partitioning at one cache level (DESIGN.md §7)."""
 
@@ -255,6 +271,7 @@ def _run_partial_partition(
     return run_simulation(
         config, workloads, total_accesses=total, seed=seed,
         workload_name=mix_name, system_setup=disable_one_level,
+        **checkpoint_kwargs,
     )
 
 

@@ -22,7 +22,7 @@ per-line objects.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from enum import Enum
 from typing import Dict, List, Optional
 
@@ -379,6 +379,59 @@ class Cache:
 
     def reset_stats(self) -> None:
         self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Plain-data snapshot: tags, recency stacks, partition, stats.
+
+        Every policy's per-set recency state is a flat list, so a list
+        copy captures it; geometry (sets/ways/policy) is construction
+        state and is *not* serialized — ``load_state`` verifies it.
+        """
+        return {
+            "tag_to_way": [dict(tags) for tags in self._tag_to_way],
+            "way_tag": [list(tags) for tags in self._way_tag],
+            "way_dirty": [list(bits) for bits in self._way_dirty],
+            "way_kind": [list(kinds) for kinds in self._way_kind],
+            "recency": [list(state) for state in self._recency],
+            "free_count": list(self._free_count),
+            "data_ways": self._data_ways,
+            "dip": (
+                None if self.dip is None
+                else {"psel": self.dip.psel, "bip_count": self.dip._bip_count}
+            ),
+            "last_stack_position": self.last_stack_position,
+            "stats": replace(self.stats),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot onto this (same-shaped) cache."""
+        way_tag = state["way_tag"]
+        if len(way_tag) != self.num_sets or any(
+            len(tags) != self.ways for tags in way_tag
+        ):
+            raise ValueError(
+                f"{self.name}: snapshot geometry does not match "
+                f"{self.num_sets} sets x {self.ways} ways"
+            )
+        if (state["dip"] is None) != (self.dip is None):
+            raise ValueError(
+                f"{self.name}: snapshot DIP state does not match configuration"
+            )
+        self._tag_to_way = [dict(tags) for tags in state["tag_to_way"]]
+        self._way_tag = [list(tags) for tags in way_tag]
+        self._way_dirty = [list(bits) for bits in state["way_dirty"]]
+        self._way_kind = [list(kinds) for kinds in state["way_kind"]]
+        self._recency = [list(recency) for recency in state["recency"]]
+        self._free_count = list(state["free_count"])
+        self.set_partition(state["data_ways"])
+        if self.dip is not None:
+            self.dip.psel = state["dip"]["psel"]
+            self.dip._bip_count = state["dip"]["bip_count"]
+        self.last_stack_position = state["last_stack_position"]
+        self.stats = replace(state["stats"])
 
     def __repr__(self) -> str:
         return (

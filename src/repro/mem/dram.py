@@ -17,7 +17,7 @@ POM-TLB's "slow but giant" trade-off.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict
 
 
@@ -128,3 +128,16 @@ class DramChannel:
     def reset(self) -> None:
         self.stats = DramStats()
         self._open_rows.clear()
+
+    def state_dict(self) -> dict:
+        return {"stats": replace(self.stats), "open_rows": dict(self._open_rows)}
+
+    def load_state(self, state: dict) -> None:
+        for bank in state["open_rows"]:
+            if not 0 <= bank < self.timing.banks:
+                raise ValueError(
+                    f"{self.timing.name}: snapshot bank {bank} outside "
+                    f"[0, {self.timing.banks})"
+                )
+        self.stats = replace(state["stats"])
+        self._open_rows = dict(state["open_rows"])

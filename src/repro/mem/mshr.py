@@ -63,3 +63,10 @@ class MshrModel:
 
     def reset(self) -> None:
         self._miss_rate = 0.0
+
+    def state_dict(self) -> dict:
+        return {"miss_rate": self._miss_rate, "workload_mlp": self.workload_mlp}
+
+    def load_state(self, state: dict) -> None:
+        self._miss_rate = float(state["miss_rate"])
+        self.workload_mlp = float(state["workload_mlp"])

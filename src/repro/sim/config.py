@@ -12,8 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional
 
-from repro.core.partitioning import DEFAULT_EPOCH_ACCESSES
-from repro.core.schemes import Scheme
+from repro.core.partitioning import DEFAULT_EPOCH_ACCESSES, N_MIN
+from repro.core.schemes import PartitionMode, Scheme
 from repro.vm.mmu_cache import PscConfig
 
 #: Paper platform frequency: cycles per (unscaled) millisecond.
@@ -89,27 +89,89 @@ class SystemConfig:
     #: bookkeeping — nothing of this size is actually allocated).
     vm_bytes: int = 1 << 33
 
+    #: Default snapshot cadence (accesses) when the engine is not given an
+    #: explicit ``checkpoint_every``; ``None`` disables checkpointing.
+    checkpoint_every: Optional[int] = None
+    #: Default invariant-audit cadence (accesses); ``None`` disables the
+    #: periodic audits (the post-restore audit always runs).
+    check_invariants: Optional[int] = None
+
     def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Reject configurations that would fail later or mid-run.
+
+        Every error names the offending field so campaign logs pinpoint
+        the bad grid axis without a traceback spelunk.
+        """
         if self.cores < 1:
-            raise ValueError(f"need at least one core, got {self.cores}")
+            raise ValueError(f"cores: need at least one core, got {self.cores}")
         if self.contexts_per_core < 1:
             raise ValueError(
-                f"need at least one context per core, got {self.contexts_per_core}"
+                f"contexts_per_core: need at least one context per core, "
+                f"got {self.contexts_per_core}"
             )
         if self.time_scale <= 0:
-            raise ValueError(f"time_scale must be positive, got {self.time_scale}")
+            raise ValueError(
+                f"time_scale: must be positive, got {self.time_scale}"
+            )
         if self.switch_interval_ms <= 0:
             raise ValueError(
-                f"switch interval must be positive, got {self.switch_interval_ms}"
+                f"switch_interval_ms: must be positive, got "
+                f"{self.switch_interval_ms}"
             )
         if self.page_table_levels not in (4, 5):
             raise ValueError(
-                f"page_table_levels must be 4 or 5, got {self.page_table_levels}"
+                f"page_table_levels: must be 4 or 5, got "
+                f"{self.page_table_levels}"
             )
         if not 0 <= self.nonmem_per_mem:
-            raise ValueError("nonmem_per_mem cannot be negative")
+            raise ValueError("nonmem_per_mem: cannot be negative")
         if self.base_cpi <= 0:
-            raise ValueError(f"base_cpi must be positive, got {self.base_cpi}")
+            raise ValueError(f"base_cpi: must be positive, got {self.base_cpi}")
+        if self.checkpoint_every is not None and self.checkpoint_every <= 0:
+            raise ValueError(
+                f"checkpoint_every: interval must be positive, got "
+                f"{self.checkpoint_every}"
+            )
+        if self.check_invariants is not None and self.check_invariants <= 0:
+            raise ValueError(
+                f"check_invariants: interval must be positive, got "
+                f"{self.check_invariants}"
+            )
+        if self.replacement == "plru":
+            for field_name, cache in (("l2", self.l2), ("l3", self.l3)):
+                if cache.ways & (cache.ways - 1):
+                    raise ValueError(
+                        f"{field_name}.ways: tree-PLRU needs a power-of-two "
+                        f"associativity, got {cache.ways}"
+                    )
+        if self.scheme.partition_mode is not PartitionMode.NONE:
+            # Algorithm 1 searches N in [N_MIN, K - N_MIN]: both streams
+            # must be able to hold their minimum simultaneously.
+            for field_name, cache in (("l2", self.l2), ("l3", self.l3)):
+                if cache.ways < 2 * N_MIN:
+                    raise ValueError(
+                        f"{field_name}.ways: partitioning needs at least "
+                        f"{2 * N_MIN} ways (N_MIN={N_MIN} per stream), got "
+                        f"{cache.ways}"
+                    )
+            if self.static_data_ways is not None and self.static_data_ways < N_MIN:
+                raise ValueError(
+                    f"static_data_ways: must be at least N_MIN={N_MIN}, got "
+                    f"{self.static_data_ways}"
+                )
+        for field_name, entries, ways in (
+            ("tlb.l1_4k_entries", self.tlb.l1_4k_entries, self.tlb.l1_ways),
+            ("tlb.l1_2m_entries", self.tlb.l1_2m_entries, self.tlb.l1_ways),
+            ("tlb.l2_entries", self.tlb.l2_entries, self.tlb.l2_ways),
+        ):
+            if entries % ways:
+                raise ValueError(
+                    f"{field_name}: {entries} entries not divisible into "
+                    f"{ways} ways"
+                )
 
     @property
     def switch_interval_cycles(self) -> int:

@@ -6,24 +6,76 @@ context per (core, VM) from the given workloads, and interleaves the
 cores round-robin (a few accesses per core per turn) so that sharing in
 the L3, POM-TLB and DRAM is modeled realistically.  Per-core context
 switches happen on the configured cycle quantum.
+
+The driver is also where the robustness machinery plugs in:
+
+* ``checkpoint_every``/``checkpoint_dir`` periodically snapshot the whole
+  machine (see :mod:`repro.checkpoint`); ``restore`` resumes from a
+  snapshot — a restored-and-continued run is bit-identical to an
+  uninterrupted one (the determinism oracle CI enforces);
+* ``check_invariants`` audits every structure each M accesses (and always
+  right after a restore) via :mod:`repro.validate`;
+* ``watchdog_timeout`` arms a wall-clock stall detector that snapshots
+  the wedged state and raises
+  :class:`~repro.checkpoint.SimulationStalled`.
 """
 
 from __future__ import annotations
 
+import hashlib
 import time
-from typing import Callable, List, Optional
+from collections import deque
+from itertools import islice
+from pathlib import Path
+from typing import Callable, List, Optional, Union
 
+from repro.checkpoint import (
+    CheckpointError,
+    CheckpointWriter,
+    SimulationStalled,
+    StallWatchdog,
+    latest_checkpoint,
+    read_checkpoint,
+)
 from repro.mem.address import Asid
 from repro.sim.config import SystemConfig
 from repro.sim.scheduler import Context, ContextScheduler
 from repro.sim.stats import SimulationResult
 from repro.sim.system import System
 from repro.telemetry import Telemetry
+from repro.telemetry.events import (
+    EVENT_CHECKPOINT,
+    EVENT_INVARIANT_CHECK,
+    EVENT_RESTORE,
+    EVENT_WATCHDOG_TRIP,
+)
 from repro.telemetry.profiling import ProgressUpdate
+from repro.validate import InvariantChecker
 from repro.workloads.base import Workload
 
 #: Accesses each core executes before the round-robin moves on.
 _CORE_BATCH = 4
+
+#: Seed-derivation scheme identifier, recorded in ``result.extra`` so a
+#: rerun years later can verify it regenerated the same streams.
+SEED_DERIVATION_SCHEME = "blake2b8(repro.stream:{seed}:{vm_id})"
+
+
+def derive_stream_seed(seed: int, vm_id: int) -> int:
+    """Collision-resistant per-VM stream seed.
+
+    The old ``seed + 97 * vm_id`` folded distinct (seed, vm_id) pairs
+    onto the same stream — e.g. (97, 0) and (0, 1) — so two nominally
+    independent experiment points could share identical access patterns.
+    Hashing the pair keeps every stream distinct and stable across runs.
+    Derivation is per-(seed, VM) only: threads of one VM deliberately
+    share the seed, so they sample one shared hot set (``thread_stream``
+    differentiates them by core id).
+    """
+    tag = f"repro.stream:{seed}:{vm_id}".encode("utf-8")
+    return int.from_bytes(
+        hashlib.blake2b(tag, digest_size=8).digest(), "big"
+    )
 
 
 def build_contexts(
@@ -40,7 +92,7 @@ def build_contexts(
                     asid=Asid(vm_id=vm_id, process_id=0),
                     vm=system.vms[vm_id],
                     stream=workload.thread_stream(
-                        core_id, config.cores, seed + 97 * vm_id
+                        core_id, config.cores, derive_stream_seed(seed, vm_id)
                     ),
                     huge_va_limit=workload.huge_va_limit,
                     native=not config.virtualized,
@@ -49,6 +101,30 @@ def build_contexts(
             )
         per_core.append(contexts)
     return per_core
+
+
+def _run_identity(
+    config: SystemConfig,
+    workloads: List[Workload],
+    total_accesses: int,
+    seed: int,
+    warmup_fraction: float,
+    occupancy_samples: int,
+) -> dict:
+    """Best-effort fingerprint of what a checkpoint belongs to.
+
+    Restoring a snapshot into a differently-shaped run would not crash —
+    it would *converge to wrong numbers* — so the engine refuses when
+    any of these differ.
+    """
+    return {
+        "config": repr(config),
+        "workloads": [repr(workload) for workload in workloads],
+        "total_accesses": total_accesses,
+        "seed": seed,
+        "warmup_fraction": warmup_fraction,
+        "occupancy_samples": occupancy_samples,
+    }
 
 
 def run_simulation(
@@ -63,6 +139,12 @@ def run_simulation(
     telemetry: Optional[Telemetry] = None,
     progress: Optional[Callable[[ProgressUpdate], None]] = None,
     progress_every: Optional[int] = None,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    restore: Optional[Union[str, Path]] = None,
+    checkpoint_keep: int = 3,
+    check_invariants: Optional[int] = None,
+    watchdog_timeout: Optional[float] = None,
 ) -> SimulationResult:
     """Simulate ``total_accesses`` memory references across all cores.
 
@@ -81,6 +163,25 @@ def run_simulation(
     ``progress`` is invoked with a
     :class:`~repro.telemetry.ProgressUpdate` every ``progress_every``
     accesses (default: ~5% of the run) and once more at completion.
+
+    Robustness knobs (all default off; fall back to the config's
+    ``checkpoint_every``/``check_invariants`` fields when unset here):
+
+    * ``checkpoint_every`` — snapshot the machine every N executed
+      accesses into ``checkpoint_dir`` (required with it), keeping the
+      newest ``checkpoint_keep``;
+    * ``restore`` — path of a snapshot to resume from, or ``"auto"`` to
+      pick the newest in ``checkpoint_dir`` (running fresh if there is
+      none yet);
+    * ``check_invariants`` — audit every structure each M accesses; a
+      corrupted structure raises
+      :class:`~repro.validate.InvariantViolation` instead of converging
+      to wrong numbers.  The audit also always runs right after a
+      restore;
+    * ``watchdog_timeout`` — wall-clock seconds without forward progress
+      before the run is declared stalled: state is snapshotted (into
+      ``checkpoint_dir`` when given) and
+      :class:`~repro.checkpoint.SimulationStalled` raised.
     """
     if len(workloads) != config.num_vms:
         raise ValueError(
@@ -90,11 +191,26 @@ def run_simulation(
         raise ValueError("total_accesses must be positive")
     if not 0.0 <= warmup_fraction < 1.0:
         raise ValueError("warmup_fraction must be in [0, 1)")
+    if checkpoint_every is None:
+        checkpoint_every = config.checkpoint_every
+    if check_invariants is None:
+        check_invariants = config.check_invariants
+    if checkpoint_every is not None:
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be positive")
+        if checkpoint_dir is None:
+            raise ValueError("checkpoint_every requires checkpoint_dir")
+    if check_invariants is not None and check_invariants < 1:
+        raise ValueError("check_invariants must be positive")
+    if restore == "auto" and checkpoint_dir is None:
+        raise ValueError('restore="auto" requires checkpoint_dir')
+
     system = System(config, telemetry=telemetry)
     if system_setup is not None:
         system_setup(system)
+    per_core = build_contexts(system, workloads, seed)
     scheduler = ContextScheduler(
-        build_contexts(system, workloads, seed),
+        per_core,
         config.switch_interval_cycles,
         telemetry=telemetry,
     )
@@ -105,36 +221,196 @@ def run_simulation(
     next_sample = sample_every
     warmup_end = int(total_accesses * warmup_fraction)
     warm = warmup_end > 0
+    identity = _run_identity(
+        config, workloads, total_accesses, seed, warmup_fraction,
+        occupancy_samples,
+    )
+
+    writer: Optional[CheckpointWriter] = None
+    if checkpoint_dir is not None:
+        writer = CheckpointWriter(checkpoint_dir, keep=checkpoint_keep)
+
+    metrics = telemetry.metrics if telemetry is not None else None
+    checkpoint_counter = metrics.counter("checkpoint.writes") if metrics else None
+    checkpoint_hist = (
+        metrics.histogram("checkpoint.write_ms") if metrics else None
+    )
+    watchdog_counter = metrics.counter("watchdog.trips") if metrics else None
+
+    def snapshot_document() -> dict:
+        return {
+            "identity": identity,
+            "engine": {
+                "executed": executed,
+                "warm": warm,
+                "next_sample": next_sample,
+            },
+            "scheduler": scheduler.state_dict(),
+            "contexts": [
+                [context.state_dict() for context in contexts]
+                for contexts in per_core
+            ],
+            "system": system.state_dict(),
+        }
+
+    restored_from: Optional[Path] = None
+    if restore is not None:
+        restore_path: Optional[Path]
+        if restore == "auto":
+            restore_path = latest_checkpoint(checkpoint_dir)
+        else:
+            restore_path = Path(restore)
+        if restore_path is not None:
+            document, _header = read_checkpoint(restore_path)
+            if document["identity"] != identity:
+                mismatched = [
+                    key for key in identity
+                    if document["identity"].get(key) != identity[key]
+                ]
+                raise CheckpointError(
+                    f"{restore_path} belongs to a different run "
+                    f"(mismatched: {', '.join(mismatched)})"
+                )
+            system.load_state(document["system"])
+            scheduler.load_state(document["scheduler"])
+            for contexts, states in zip(per_core, document["contexts"]):
+                for context, state in zip(contexts, states):
+                    context.load_state(state)
+                    # Streams are deterministic generators: replaying the
+                    # consumed prefix puts them exactly where they were.
+                    deque(islice(context.stream, context.consumed), maxlen=0)
+            executed = document["engine"]["executed"]
+            warm = document["engine"]["warm"]
+            next_sample = document["engine"]["next_sample"]
+            restored_from = restore_path
+            if telemetry is not None:
+                telemetry.emit(
+                    EVENT_RESTORE,
+                    float(executed),
+                    path=str(restore_path),
+                    executed=executed,
+                )
+
+    checker: Optional[InvariantChecker] = None
+    if check_invariants is not None or restored_from is not None:
+        checker = InvariantChecker(system, scheduler, telemetry=telemetry)
+    if restored_from is not None and checker is not None:
+        # A corrupt snapshot must fail loudly here, not as wrong numbers.
+        checker.check(executed=executed)
+    next_check = (
+        None if check_invariants is None
+        else check_invariants * (executed // check_invariants + 1)
+    )
+    next_checkpoint = (
+        None if checkpoint_every is None
+        else checkpoint_every * (executed // checkpoint_every + 1)
+    )
+
+    watchdog: Optional[StallWatchdog] = None
+    if watchdog_timeout is not None:
+        watchdog = StallWatchdog(watchdog_timeout)
+        watchdog.beat(executed)
+        watchdog.start()
+
     run_started = time.perf_counter()
     if progress is not None and progress_every is None:
         progress_every = max(_CORE_BATCH * config.cores, total_accesses // 20)
     next_progress = progress_every if progress is not None else None
-    while executed < total_accesses:
-        for core_id in range(config.cores):
-            context = scheduler.current(core_id)
-            core = system.cores[core_id]
-            core.mshr.workload_mlp = context.mlp
-            stream = context.stream
-            access = system.access
-            ensure = context.ensure_mapped
-            asid = context.asid
-            for _ in range(_CORE_BATCH):
-                virtual_address, is_write = next(stream)
-                ensure(virtual_address)
-                access(core_id, asid, virtual_address, is_write)
-            scheduler.maybe_switch(core_id, core.stats.cycles)
-        executed += _CORE_BATCH * config.cores
-        if warm and executed >= warmup_end:
-            system.reset_stats()
-            warm = False
-        if executed >= next_sample:
-            system.sample_occupancy()
-            next_sample += sample_every
-        if next_progress is not None and executed >= next_progress:
-            progress(ProgressUpdate(
-                executed, total_accesses, time.perf_counter() - run_started
-            ))
-            next_progress += progress_every
+    try:
+        while executed < total_accesses:
+            for core_id in range(config.cores):
+                context = scheduler.current(core_id)
+                core = system.cores[core_id]
+                core.mshr.workload_mlp = context.mlp
+                stream = context.stream
+                access = system.access
+                ensure = context.ensure_mapped
+                asid = context.asid
+                for _ in range(_CORE_BATCH):
+                    virtual_address, is_write = next(stream)
+                    ensure(virtual_address)
+                    access(core_id, asid, virtual_address, is_write)
+                context.consumed += _CORE_BATCH
+                scheduler.maybe_switch(core_id, core.stats.cycles)
+            executed += _CORE_BATCH * config.cores
+            if watchdog is not None:
+                watchdog.beat(executed)
+            if warm and executed >= warmup_end:
+                system.reset_stats()
+                warm = False
+                if checker is not None:
+                    # Counters were legitimately zeroed; re-anchor the
+                    # monotonicity baseline.
+                    checker.reset_baseline()
+            if next_check is not None and executed >= next_check:
+                checker.check(executed=executed)
+                if telemetry is not None and telemetry.tracer is not None:
+                    telemetry.emit(
+                        EVENT_INVARIANT_CHECK,
+                        float(executed),
+                        executed=executed,
+                        checks_run=checker.checks_run,
+                    )
+                next_check += check_invariants
+            if executed >= next_sample:
+                system.sample_occupancy()
+                next_sample += sample_every
+            if next_progress is not None and executed >= next_progress:
+                progress(ProgressUpdate(
+                    executed, total_accesses, time.perf_counter() - run_started
+                ))
+                next_progress += progress_every
+            # The snapshot must be the LAST act of the iteration: it has
+            # to capture post-sampling state, or a resume would re-reach
+            # ``next_sample`` a batch late and sample different contents.
+            if next_checkpoint is not None and executed >= next_checkpoint:
+                path = writer.write(executed, snapshot_document())
+                if checkpoint_counter is not None:
+                    checkpoint_counter.inc()
+                if checkpoint_hist is not None:
+                    checkpoint_hist.record(
+                        int(writer.last_write_seconds * 1000)
+                    )
+                if telemetry is not None:
+                    telemetry.emit(
+                        EVENT_CHECKPOINT,
+                        float(executed),
+                        path=str(path),
+                        executed=executed,
+                        seconds=writer.last_write_seconds,
+                    )
+                next_checkpoint += checkpoint_every
+    except KeyboardInterrupt:
+        if watchdog is None or not watchdog.tripped:
+            raise  # a real Ctrl-C, not ours
+        watchdog.stop()
+        if watchdog_counter is not None:
+            watchdog_counter.inc()
+        snapshot_path: Optional[str] = None
+        if writer is not None:
+            # We are back on the sole simulating thread, so the state is
+            # consistent *between* accesses at worst mid-batch; the stall
+            # header marks it as a post-mortem artifact, not a resume point.
+            snapshot_path = str(writer.write_stall(executed, snapshot_document()))
+        if telemetry is not None:
+            telemetry.emit(
+                EVENT_WATCHDOG_TRIP,
+                float(executed),
+                executed=executed,
+                timeout_seconds=watchdog.timeout_seconds,
+                snapshot=snapshot_path,
+            )
+        raise SimulationStalled(
+            f"no forward progress for {watchdog.timeout_seconds}s at access "
+            f"{executed}/{total_accesses}"
+            + (f" (state snapshot: {snapshot_path})" if snapshot_path else ""),
+            executed=executed,
+            timeout_seconds=watchdog.timeout_seconds,
+            snapshot_path=snapshot_path,
+        ) from None
+    finally:
+        if watchdog is not None:
+            watchdog.stop()
     elapsed = time.perf_counter() - run_started
     if progress is not None:
         progress(ProgressUpdate(executed, total_accesses, elapsed))
@@ -144,5 +420,18 @@ def run_simulation(
     result = system.result(name)
     result.extra["context_switches"] = scheduler.switches
     result.extra["seed"] = seed
+    result.extra["seed_derivation"] = {
+        "scheme": SEED_DERIVATION_SCHEME,
+        "stream_seeds": {
+            str(vm_id): derive_stream_seed(seed, vm_id)
+            for vm_id in range(config.num_vms)
+        },
+    }
+    # ``host_``-prefixed extras are host-dependent run-control facts; the
+    # result store and the determinism oracle strip them before comparing.
     result.extra["host_seconds"] = elapsed
+    if writer is not None:
+        result.extra["host_checkpoints_written"] = writer.written
+    if restored_from is not None:
+        result.extra["host_restored_from"] = str(restored_from)
     return result

@@ -29,6 +29,10 @@ class Context:
     native: bool = False
     #: The workload's inherent memory-level parallelism (MSHR model cap).
     mlp: float = 4.0
+    #: Accesses drawn from ``stream`` so far.  Streams are deterministic
+    #: infinite generators, so this count is all a checkpoint needs: on
+    #: restore the rebuilt stream is fast-forwarded by ``consumed``.
+    consumed: int = 0
     _mapped: Set[int] = field(default_factory=set)
 
     def page_bits(self, virtual_address: int) -> int:
@@ -43,6 +47,13 @@ class Context:
             return
         self.vm.ensure_mapped(self.asid.process_id, virtual_address, page_bits)
         self._mapped.add(key)
+
+    def state_dict(self) -> dict:
+        return {"consumed": self.consumed, "mapped": set(self._mapped)}
+
+    def load_state(self, state: dict) -> None:
+        self.consumed = state["consumed"]
+        self._mapped = set(state["mapped"])
 
 
 class ContextScheduler:
@@ -91,3 +102,22 @@ class ContextScheduler:
     @property
     def num_cores(self) -> int:
         return len(self._contexts)
+
+    def state_dict(self) -> dict:
+        """Context contents are snapshotted by the engine (per context);
+        this covers only the rotation state."""
+        return {
+            "active": list(self._active),
+            "next_switch": list(self._next_switch),
+            "switches": self.switches,
+        }
+
+    def load_state(self, state: dict) -> None:
+        if len(state["active"]) != len(self._contexts):
+            raise ValueError(
+                f"scheduler snapshot covers {len(state['active'])} cores, "
+                f"this scheduler has {len(self._contexts)}"
+            )
+        self._active = list(state["active"])
+        self._next_switch = list(state["next_switch"])
+        self.switches = state["switches"]

@@ -18,7 +18,7 @@ MSHR model's achieved memory-level parallelism.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.criticality import CriticalityEstimator, CriticalityInputs
@@ -823,3 +823,134 @@ class System:
                 ),
             },
         )
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Plain-data snapshot of every stateful structure in the machine.
+
+        Closures (walker accessors, controller clocks, telemetry hooks)
+        are wiring, not state: a restore applies this snapshot to a
+        *freshly built* System whose wiring is identical by construction.
+        """
+        return {
+            "vms": [vm.state_dict() for vm in self.vms],
+            "ddr": self.ddr.state_dict(),
+            "die_stacked": self.die_stacked.state_dict(),
+            "l3": self.l3.state_dict(),
+            "l3_controller": (
+                None if self.l3_controller is None
+                else self.l3_controller.state_dict()
+            ),
+            "pom": None if self.pom is None else self.pom.state_dict(),
+            "prefetched": sorted(self._prefetched),
+            "tsb_predictor": self._tsb_predictor.state_dict(),
+            "guest_tsbs": {
+                key: tsb.state_dict() for key, tsb in self._guest_tsbs.items()
+            },
+            "host_tsbs": {
+                vm_id: tsb.state_dict()
+                for vm_id, tsb in self._host_tsbs.items()
+            },
+            "cores": [
+                {
+                    "stats": replace(core.stats),
+                    "l1_tlb": core.l1_tlb.state_dict(),
+                    "l2_tlb": core.l2_tlb.state_dict(),
+                    "l1d": core.l1d.state_dict(),
+                    "l2": core.l2.state_dict(),
+                    "walker": core.walker.state_dict(),
+                    "mshr": core.mshr.state_dict(),
+                    "l2_controller": (
+                        None if core.l2_controller is None
+                        else core.l2_controller.state_dict()
+                    ),
+                    "prefetcher": (
+                        None if core.prefetcher is None
+                        else core.prefetcher.state_dict()
+                    ),
+                }
+                for core in self.cores
+            ],
+            "occupancy_samples": [
+                replace(sample) for sample in self.occupancy_samples
+            ],
+            "total_accesses": self._total_accesses,
+            "last_walk_latency": self._last_walk_latency,
+            "tlb_ref_levels": dict(self.tlb_ref_levels),
+        }
+
+    def load_state(self, state: dict) -> None:
+        if len(state["vms"]) != len(self.vms):
+            raise ValueError(
+                f"snapshot has {len(state['vms'])} VMs, this system has "
+                f"{len(self.vms)}"
+            )
+        if len(state["cores"]) != len(self.cores):
+            raise ValueError(
+                f"snapshot has {len(state['cores'])} cores, this system "
+                f"has {len(self.cores)}"
+            )
+        if (state["pom"] is None) != (self.pom is None):
+            raise ValueError(
+                "snapshot and system disagree on whether a POM-TLB exists "
+                "(different schemes?)"
+            )
+        if (state["l3_controller"] is None) != (self.l3_controller is None):
+            raise ValueError(
+                "snapshot and system disagree on L3 partition control "
+                "(different schemes?)"
+            )
+        for vm, vm_state in zip(self.vms, state["vms"]):
+            vm.load_state(vm_state)
+        self.ddr.load_state(state["ddr"])
+        self.die_stacked.load_state(state["die_stacked"])
+        self.l3.load_state(state["l3"])
+        if self.l3_controller is not None:
+            self.l3_controller.load_state(state["l3_controller"])
+        if self.pom is not None:
+            self.pom.load_state(state["pom"])
+        self._prefetched = set(state["prefetched"])
+        self._tsb_predictor.load_state(state["tsb_predictor"])
+        # TSBs are created lazily (allocating frames as a side effect);
+        # the frames are already marked used in the restored allocators,
+        # so rebuild the TSB objects directly at their recorded addresses.
+        self._guest_tsbs = {
+            key: Tsb.from_state(tsb_state)
+            for key, tsb_state in state["guest_tsbs"].items()
+        }
+        self._host_tsbs = {
+            vm_id: Tsb.from_state(tsb_state)
+            for vm_id, tsb_state in state["host_tsbs"].items()
+        }
+        for core, core_state in zip(self.cores, state["cores"]):
+            if (core_state["l2_controller"] is None) != (
+                core.l2_controller is None
+            ):
+                raise ValueError(
+                    f"core {core.core_id}: snapshot and system disagree on "
+                    "L2 partition control (different schemes?)"
+                )
+            if (core_state["prefetcher"] is None) != (core.prefetcher is None):
+                raise ValueError(
+                    f"core {core.core_id}: snapshot and system disagree on "
+                    "TLB prefetching"
+                )
+            core.stats = replace(core_state["stats"])
+            core.l1_tlb.load_state(core_state["l1_tlb"])
+            core.l2_tlb.load_state(core_state["l2_tlb"])
+            core.l1d.load_state(core_state["l1d"])
+            core.l2.load_state(core_state["l2"])
+            core.walker.load_state(core_state["walker"])
+            core.mshr.load_state(core_state["mshr"])
+            if core.l2_controller is not None:
+                core.l2_controller.load_state(core_state["l2_controller"])
+            if core.prefetcher is not None:
+                core.prefetcher.load_state(core_state["prefetcher"])
+        self.occupancy_samples = [
+            replace(sample) for sample in state["occupancy_samples"]
+        ]
+        self._total_accesses = state["total_accesses"]
+        self._last_walk_latency = state["last_walk_latency"]
+        self.tlb_ref_levels = dict(state["tlb_ref_levels"])

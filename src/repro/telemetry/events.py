@@ -32,6 +32,10 @@ EVENT_POM_LOOKUP = "pom.lookup"
 EVENT_PARTITION = "partition.decision"
 EVENT_SWITCH = "sched.switch"
 EVENT_SHOOTDOWN = "tlb.shootdown"
+EVENT_CHECKPOINT = "checkpoint.write"
+EVENT_RESTORE = "checkpoint.restore"
+EVENT_INVARIANT_CHECK = "validate.check"
+EVENT_WATCHDOG_TRIP = "watchdog.trip"
 
 #: Core id used for events not attributable to a single core.
 SYSTEM_CORE = -1

@@ -21,7 +21,7 @@ caller's memory access to :meth:`set_address` (see ``repro.sim.system``).
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Optional, Tuple
 
 from repro.mem.address import Asid, CACHE_LINE_BYTES, PAGE_4K_BITS, PAGE_2M_BITS
@@ -67,6 +67,12 @@ class PageSizePredictor:
         else:
             counter = max(0, counter - 1)
         self._counters[asid] = counter
+
+    def state_dict(self) -> dict:
+        return {"counters": dict(self._counters)}
+
+    def load_state(self, state: dict) -> None:
+        self._counters = dict(state["counters"])
 
 
 class PomTlb:
@@ -179,6 +185,34 @@ class PomTlb:
     def occupancy(self) -> float:
         held = sum(len(s) for s in self._contents.values())
         return held / (2 * self.sets_per_size * self.entries_per_set)
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {
+            "contents": {
+                index: list(pom_set.items())
+                for index, pom_set in self._contents.items()
+            },
+            "predictor": self.predictor.state_dict(),
+            "stats": replace(self.stats),
+        }
+
+    def load_state(self, state: dict) -> None:
+        total_sets = 2 * self.sets_per_size
+        for index in state["contents"]:
+            if not 0 <= index < total_sets:
+                raise ValueError(
+                    f"pom-tlb: snapshot set index {index} outside "
+                    f"[0, {total_sets})"
+                )
+        self._contents = {
+            index: OrderedDict(items)
+            for index, items in state["contents"].items()
+        }
+        self.predictor.load_state(state["predictor"])
+        self.stats = replace(state["stats"])
 
     def register_metrics(self, registry, prefix: str = "pom") -> None:
         """Expose POM-TLB counters as callback gauges under ``prefix``.

@@ -16,7 +16,7 @@ traffic for nothing).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict
 
 from repro.mem.address import Asid
@@ -68,3 +68,15 @@ class SequentialTlbPrefetcher:
     def credit_hit(self) -> None:
         """A demand access hit a prefetched entry (accuracy accounting)."""
         self.stats.useful += 1
+
+    def state_dict(self) -> dict:
+        return {
+            "stats": replace(self.stats),
+            "last_vpn": dict(self._last_vpn),
+            "confidence": dict(self._confidence),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.stats = replace(state["stats"])
+        self._last_vpn = dict(state["last_vpn"])
+        self._confidence = dict(state["confidence"])

@@ -10,7 +10,7 @@ size, as real unified TLBs do.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Optional, Tuple
 
 from repro.mem.address import Asid, PAGE_4K_BITS, PAGE_2M_BITS
@@ -143,6 +143,27 @@ class Tlb:
     def reset_stats(self) -> None:
         self.stats = TlbStats()
 
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Plain-data snapshot; set order *is* the LRU order, so each set
+        is serialized as an ordered (key, entry) list."""
+        return {
+            "sets": [list(tlb_set.items()) for tlb_set in self._sets],
+            "stats": replace(self.stats),
+        }
+
+    def load_state(self, state: dict) -> None:
+        sets = state["sets"]
+        if len(sets) != self.num_sets:
+            raise ValueError(
+                f"{self.name}: snapshot has {len(sets)} sets, "
+                f"this TLB has {self.num_sets}"
+            )
+        self._sets = [OrderedDict(items) for items in sets]
+        self.stats = replace(state["stats"])
+
 
 class L1TlbPair:
     """Split L1 TLBs (4 KB and 2 MB), probed in parallel as on Skylake."""
@@ -184,3 +205,13 @@ class L1TlbPair:
         # A demand miss missed both structures; the 2 MB TLB sees exactly
         # the stream that missed in the 4 KB TLB.
         return self.tlb_2m.stats.misses
+
+    def state_dict(self) -> dict:
+        return {
+            "tlb_4k": self.tlb_4k.state_dict(),
+            "tlb_2m": self.tlb_2m.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.tlb_4k.load_state(state["tlb_4k"])
+        self.tlb_2m.load_state(state["tlb_2m"])

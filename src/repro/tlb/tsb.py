@@ -13,7 +13,7 @@ even though both benefit from caching their entries in the data caches.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Optional, Tuple
 
 from repro.mem.address import Asid
@@ -97,3 +97,43 @@ class Tsb:
         index = self.slot_index(asid, virtual_address, entry.page_bits)
         self._slots[index] = (asid, virtual_address >> entry.page_bits, entry)
         self.stats.insertions += 1
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Geometry is included: TSBs are created lazily per (vm, process),
+        so a restore may need to rebuild one that the fresh system has not
+        allocated yet (see :meth:`from_state`)."""
+        return {
+            "name": self.name,
+            "base_address": self.base_address,
+            "num_entries": self.num_entries,
+            "entry_bytes": self.entry_bytes,
+            "slots": dict(self._slots),
+            "stats": replace(self.stats),
+        }
+
+    def load_state(self, state: dict) -> None:
+        for field_name in ("name", "base_address", "num_entries", "entry_bytes"):
+            if state[field_name] != getattr(self, field_name):
+                raise ValueError(
+                    f"{self.name}: snapshot {field_name}={state[field_name]!r} "
+                    f"does not match this TSB's {getattr(self, field_name)!r}"
+                )
+        self._slots = dict(state["slots"])
+        self.stats = replace(state["stats"])
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Tsb":
+        """Rebuild a TSB at its recorded base address *without* going
+        through the allocator (the frames were already reserved in the
+        allocator state restored alongside)."""
+        tsb = cls(
+            state["name"],
+            state["base_address"],
+            num_entries=state["num_entries"],
+            entry_bytes=state["entry_bytes"],
+        )
+        tsb.load_state(state)
+        return tsb

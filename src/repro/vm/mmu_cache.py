@@ -61,6 +61,25 @@ class SmallFullyAssocCache:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def state_dict(self) -> dict:
+        # Insertion order of the OrderedDict *is* the LRU order.
+        return {
+            "store": list(self._store.items()),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def load_state(self, state: dict) -> None:
+        store = state["store"]
+        if len(store) > self.entries:
+            raise ValueError(
+                f"snapshot holds {len(store)} entries, cache capacity is "
+                f"{self.entries}"
+            )
+        self._store = OrderedDict(store)
+        self.hits = state["hits"]
+        self.misses = state["misses"]
+
 
 @dataclass(frozen=True)
 class PscConfig:
@@ -143,6 +162,18 @@ class PagingStructureCache:
         total = self._pde.hits + self._pde.misses
         return hits / total if total else 0.0
 
+    def state_dict(self) -> dict:
+        return {
+            "pde": self._pde.state_dict(),
+            "pdp": self._pdp.state_dict(),
+            "pml4": self._pml4.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._pde.load_state(state["pde"])
+        self._pdp.load_state(state["pdp"])
+        self._pml4.load_state(state["pml4"])
+
 
 @dataclass
 class NestedTlb:
@@ -164,3 +195,9 @@ class NestedTlb:
     @property
     def hit_rate(self) -> float:
         return self._cache.hit_rate
+
+    def state_dict(self) -> dict:
+        return {"cache": self._cache.state_dict()}
+
+    def load_state(self, state: dict) -> None:
+        self._cache.load_state(state["cache"])

@@ -225,3 +225,77 @@ class PageTable:
     def table_bytes(self) -> int:
         """Memory consumed by page-table nodes."""
         return self.nodes_allocated * PAGE_4K
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Plain-data snapshot of the radix tree (recursion depth is the
+        table's level count, at most :data:`MAX_RADIX_LEVELS`)."""
+        return {
+            "levels": self.levels,
+            "root": _node_state(self.root),
+            "pages_mapped": self.pages_mapped,
+            "nodes_allocated": self.nodes_allocated,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Replace this table's tree with the snapshot's.
+
+        The frames the restored nodes sit in were handed out by the
+        allocator whose own state is restored alongside, so no frames are
+        (re)allocated here.
+        """
+        if state["levels"] != self.levels:
+            raise ValueError(
+                f"snapshot is a {state['levels']}-level table, this table "
+                f"has {self.levels} levels"
+            )
+        self.root = _node_from_state(state["root"])
+        self.pages_mapped = state["pages_mapped"]
+        self.nodes_allocated = state["nodes_allocated"]
+
+    @classmethod
+    def from_state(
+        cls,
+        frame_allocator: FrameAllocator,
+        state: dict,
+        frame_of_page: Optional[Callable[[int, int], int]] = None,
+    ) -> "PageTable":
+        """Rebuild a table from a snapshot without allocating a root frame.
+
+        Used for tables created lazily per (VM, process): the fresh system
+        has not built them, and going through ``__init__`` would burn an
+        allocator frame the snapshot never spent.
+        """
+        table = cls.__new__(cls)
+        table.levels = state["levels"]
+        table._allocator = frame_allocator
+        table._frame_of_page = frame_of_page or table._default_frame_of_page
+        table.root = _node_from_state(state["root"])
+        table.pages_mapped = state["pages_mapped"]
+        table.nodes_allocated = state["nodes_allocated"]
+        return table
+
+
+def _node_state(node: PageTableNode) -> dict:
+    return {
+        "level": node.level,
+        "base_address": node.base_address,
+        "leaves": dict(node.leaves),
+        "children": {
+            index: _node_state(child) for index, child in node.children.items()
+        },
+    }
+
+
+def _node_from_state(state: dict) -> PageTableNode:
+    return PageTableNode(
+        level=state["level"],
+        base_address=state["base_address"],
+        children={
+            index: _node_from_state(child)
+            for index, child in state["children"].items()
+        },
+        leaves=dict(state["leaves"]),
+    )

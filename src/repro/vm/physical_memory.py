@@ -83,6 +83,26 @@ class FrameAllocator:
     def frames_allocated(self) -> int:
         return len(self._used) + (self.num_frames - self._next_contig_end)
 
+    def state_dict(self) -> dict:
+        return {
+            "base_frame": self.base_frame,
+            "num_frames": self.num_frames,
+            "next_single": self._next_single,
+            "next_contig_end": self._next_contig_end,
+            "used": dict(self._used),
+        }
+
+    def load_state(self, state: dict) -> None:
+        for field_name in ("base_frame", "num_frames"):
+            if state[field_name] != getattr(self, field_name):
+                raise ValueError(
+                    f"allocator snapshot {field_name}={state[field_name]} "
+                    f"does not match this range's {getattr(self, field_name)}"
+                )
+        self._next_single = state["next_single"]
+        self._next_contig_end = state["next_contig_end"]
+        self._used = dict(state["used"])
+
 
 class HostPhysicalMemory:
     """Carves host physical memory into the POM-TLB region and VM slices."""

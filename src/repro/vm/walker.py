@@ -16,7 +16,7 @@ as the paper describes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.mem.address import Asid, PAGE_4K_BITS, RADIX_LEVELS
@@ -146,6 +146,51 @@ class VirtualMachine:
         if self.host_table.lookup(guest_physical) is None:
             self.host_table.map_page(guest_physical, PAGE_4K_BITS)
 
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Snapshot the VM's allocators and tables.
+
+        Natively the guest allocator *is* the host allocator (aliased), so
+        only the host side is recorded; restoring keeps the alias intact.
+        """
+        return {
+            "vm_id": self.vm_id,
+            "native": self.native,
+            "levels": self.levels,
+            "host_allocator": self._host_allocator.state_dict(),
+            "guest_allocator": (
+                None if self.native else self._guest_allocator.state_dict()
+            ),
+            "host_table": (
+                None if self.native else self.host_table.state_dict()
+            ),
+            "guest_tables": {
+                process_id: table.state_dict()
+                for process_id, table in self._guest_tables.items()
+            },
+        }
+
+    def load_state(self, state: dict) -> None:
+        for field_name in ("vm_id", "native", "levels"):
+            if state[field_name] != getattr(self, field_name):
+                raise ValueError(
+                    f"vm {self.vm_id}: snapshot {field_name}="
+                    f"{state[field_name]!r} does not match this VM's "
+                    f"{getattr(self, field_name)!r}"
+                )
+        self._host_allocator.load_state(state["host_allocator"])
+        if not self.native:
+            self._guest_allocator.load_state(state["guest_allocator"])
+            self.host_table.load_state(state["host_table"])
+        # Guest tables are created lazily, so the snapshot may hold tables
+        # the fresh VM has not built; rebuild them without allocating.
+        self._guest_tables = {
+            process_id: PageTable.from_state(self._guest_allocator, table_state)
+            for process_id, table_state in state["guest_tables"].items()
+        }
+
 
 class PageWalker:
     """A per-core walker with PSC and nested TLB, issuing cacheable refs."""
@@ -168,6 +213,20 @@ class PageWalker:
     def register_metrics(self, registry, prefix: str) -> None:
         """Expose walk counters in a telemetry metrics registry."""
         register_walker_metrics(self, registry, prefix)
+
+    def state_dict(self) -> dict:
+        """The accessor callback is wiring, not state — only the caches
+        and counters are snapshotted."""
+        return {
+            "psc": self.psc.state_dict(),
+            "nested_tlb": self.nested_tlb.state_dict(),
+            "stats": replace(self.stats),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.psc.load_state(state["psc"])
+        self.nested_tlb.load_state(state["nested_tlb"])
+        self.stats = replace(state["stats"])
 
     # ------------------------------------------------------------------
     # Native (1-D) walk

@@ -1,0 +1,303 @@
+"""Checkpoint envelope, writer pruning, watchdog, and the determinism
+oracle: restore-and-continue must be bit-identical to an uninterrupted
+run."""
+
+import json
+import time
+
+import pytest
+
+from repro.checkpoint import (
+    MAGIC,
+    CheckpointError,
+    CheckpointWriter,
+    SimulationStalled,
+    StallWatchdog,
+    checkpoint_name,
+    latest_checkpoint,
+    list_checkpoints,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.core.schemes import Scheme
+from repro.experiments.store import strip_host_fields
+from repro.sim.config import small_config
+from repro.sim.engine import derive_stream_seed, run_simulation
+from repro.workloads.base import Workload
+from repro.workloads.mixes import make_mix
+
+TOTAL = 4_000
+
+
+def tiny_config(**overrides):
+    defaults = dict(
+        scheme=Scheme.CSALT_CD, cores=2, contexts_per_core=2
+    )
+    defaults.update(overrides)
+    return small_config(**defaults)
+
+
+def tiny_mix(config):
+    return make_mix("gups", config.num_vms, scale=0.25)
+
+
+# ----------------------------------------------------------------------
+# Envelope
+# ----------------------------------------------------------------------
+class TestEnvelope:
+    def test_roundtrip(self, tmp_path):
+        document = {"a": [1, 2, 3], "nested": {"x": (4, 5)}}
+        path = write_checkpoint(
+            tmp_path / "snap.ckpt", document, meta={"executed": 42}
+        )
+        loaded, header = read_checkpoint(path)
+        assert loaded == document
+        assert header["executed"] == 42
+        assert header["format"] == 1
+
+    def test_corrupted_payload_rejected(self, tmp_path):
+        path = write_checkpoint(tmp_path / "snap.ckpt", {"k": "v"})
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointError, match="checksum"):
+            read_checkpoint(path)
+
+    def test_truncated_payload_rejected(self, tmp_path):
+        path = write_checkpoint(tmp_path / "snap.ckpt", list(range(100)))
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-10])
+        with pytest.raises(CheckpointError, match="truncated"):
+            read_checkpoint(path)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "not.ckpt"
+        path.write_bytes(b"something else entirely\n{}\n")
+        with pytest.raises(CheckpointError, match="magic"):
+            read_checkpoint(path)
+
+    def test_future_format_version_rejected(self, tmp_path):
+        path = tmp_path / "future.ckpt"
+        header = json.dumps({"format": 99, "payload_bytes": 0, "sha256": ""})
+        path.write_bytes(MAGIC + b"\n" + header.encode() + b"\n")
+        with pytest.raises(CheckpointError, match="version"):
+            read_checkpoint(path)
+
+    def test_unserializable_document_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError, match="serialize"):
+            write_checkpoint(tmp_path / "bad.ckpt", lambda: None)
+
+
+class TestWriterAndListing:
+    def test_names_sort_chronologically(self):
+        names = [checkpoint_name(n) for n in (5, 40, 3_000, 120_000)]
+        assert names == sorted(names)
+
+    def test_writer_prunes_to_keep(self, tmp_path):
+        writer = CheckpointWriter(tmp_path, keep=2)
+        for executed in (100, 200, 300, 400):
+            writer.write(executed, {"executed": executed})
+        remaining = list_checkpoints(tmp_path)
+        assert [p.name for p in remaining] == [
+            checkpoint_name(300), checkpoint_name(400)
+        ]
+        assert writer.written == 4
+        assert writer.last_write_seconds > 0
+
+    def test_stall_snapshots_excluded_and_never_pruned(self, tmp_path):
+        writer = CheckpointWriter(tmp_path, keep=1)
+        stall = writer.write_stall(150, {"wedged": True})
+        for executed in (100, 200):
+            writer.write(executed, {})
+        assert stall.exists()
+        assert latest_checkpoint(tmp_path).name == checkpoint_name(200)
+        _, header = read_checkpoint(stall)
+        assert header["stalled"] is True
+        assert header["consistent"] is False
+
+    def test_latest_of_empty_dir_is_none(self, tmp_path):
+        assert latest_checkpoint(tmp_path) is None
+        assert latest_checkpoint(tmp_path / "missing") is None
+
+
+# ----------------------------------------------------------------------
+# Watchdog
+# ----------------------------------------------------------------------
+class TestStallWatchdog:
+    def test_trips_when_heartbeat_stops(self):
+        watchdog = StallWatchdog(0.15, poll_seconds=0.03)
+        watchdog.beat(0)
+        deadline = time.monotonic() + 5.0
+        interrupted = False
+        with watchdog:
+            try:
+                while time.monotonic() < deadline:
+                    time.sleep(0.01)  # heartbeat never advances
+            except KeyboardInterrupt:
+                interrupted = True
+        assert interrupted
+        assert watchdog.tripped
+
+    def test_does_not_trip_while_advancing(self):
+        watchdog = StallWatchdog(0.3, poll_seconds=0.03)
+        with watchdog:
+            for tick in range(10):
+                watchdog.beat(tick)
+                time.sleep(0.02)
+        assert not watchdog.tripped
+
+    def test_rejects_nonpositive_timeout(self):
+        with pytest.raises(ValueError):
+            StallWatchdog(0.0)
+
+
+# ----------------------------------------------------------------------
+# Engine integration: determinism oracle
+# ----------------------------------------------------------------------
+class TestDeterminismOracle:
+    @pytest.mark.parametrize("replacement", ["lru", "nru"])
+    def test_restore_midpoint_matches_uninterrupted(
+        self, tmp_path, replacement
+    ):
+        config = tiny_config(replacement=replacement)
+        uninterrupted = run_simulation(
+            config, tiny_mix(config), total_accesses=TOTAL, seed=3
+        )
+        checkpointed = run_simulation(
+            config, tiny_mix(config), total_accesses=TOTAL, seed=3,
+            checkpoint_every=1_000, checkpoint_dir=tmp_path,
+        )
+        midpoint = list_checkpoints(tmp_path)[0]
+        resumed = run_simulation(
+            config, tiny_mix(config), total_accesses=TOTAL, seed=3,
+            checkpoint_dir=tmp_path, restore=midpoint,
+            check_invariants=1_000,
+        )
+        expected = strip_host_fields(uninterrupted.to_dict())
+        assert strip_host_fields(checkpointed.to_dict()) == expected
+        assert strip_host_fields(resumed.to_dict()) == expected
+        assert resumed.extra["host_restored_from"] == str(midpoint)
+
+    def test_restore_mid_warmup_matches(self, tmp_path):
+        # A snapshot taken before the stats reset must restore the
+        # warmup bookkeeping too, not just the structures.
+        config = tiny_config()
+        uninterrupted = run_simulation(
+            config, tiny_mix(config), total_accesses=TOTAL, seed=7
+        )
+        run_simulation(
+            config, tiny_mix(config), total_accesses=TOTAL, seed=7,
+            checkpoint_every=500, checkpoint_dir=tmp_path,
+            checkpoint_keep=20,
+        )
+        warmup_snap = list_checkpoints(tmp_path)[0]
+        _, header = read_checkpoint(warmup_snap)
+        assert header["executed"] < int(TOTAL * 0.25)
+        resumed = run_simulation(
+            config, tiny_mix(config), total_accesses=TOTAL, seed=7,
+            checkpoint_dir=tmp_path, restore=warmup_snap,
+        )
+        assert strip_host_fields(resumed.to_dict()) == strip_host_fields(
+            uninterrupted.to_dict()
+        )
+
+    def test_restore_auto_with_empty_dir_runs_fresh(self, tmp_path):
+        config = tiny_config()
+        result = run_simulation(
+            config, tiny_mix(config), total_accesses=2_000, seed=1,
+            checkpoint_dir=tmp_path, restore="auto",
+        )
+        assert "host_restored_from" not in result.extra
+
+    def test_restore_rejects_different_run(self, tmp_path):
+        config = tiny_config()
+        run_simulation(
+            config, tiny_mix(config), total_accesses=2_000, seed=1,
+            checkpoint_every=1_000, checkpoint_dir=tmp_path,
+        )
+        with pytest.raises(CheckpointError, match="seed"):
+            run_simulation(
+                config, tiny_mix(config), total_accesses=2_000, seed=2,
+                checkpoint_dir=tmp_path, restore="auto",
+            )
+
+    def test_checkpoint_every_requires_dir(self):
+        config = tiny_config()
+        with pytest.raises(ValueError, match="checkpoint_dir"):
+            run_simulation(
+                config, tiny_mix(config), total_accesses=1_000,
+                checkpoint_every=500,
+            )
+
+
+# ----------------------------------------------------------------------
+# Engine integration: stalls
+# ----------------------------------------------------------------------
+class _WedgingWorkload(Workload):
+    """Yields normally for a while, then stops making progress."""
+
+    name = "wedge"
+    huge_va_limit = 0
+
+    def __init__(self, wedge_after: int = 200):
+        self.wedge_after = wedge_after
+
+    def thread_stream(self, thread_id, num_threads=8, seed=0):
+        emitted = 0
+        while True:
+            if emitted >= self.wedge_after:
+                time.sleep(0.05)  # simulate a hang, interruptibly
+                continue
+            emitted += 1
+            yield ((emitted * 64) % (1 << 20), False)
+
+
+class TestEngineStall:
+    def test_stall_raises_and_snapshots(self, tmp_path):
+        config = tiny_config(cores=1, contexts_per_core=1)
+        with pytest.raises(SimulationStalled) as info:
+            run_simulation(
+                config, [_WedgingWorkload()], total_accesses=100_000,
+                watchdog_timeout=0.3, checkpoint_dir=tmp_path,
+            )
+        stall = info.value
+        assert stall.executed < 100_000
+        assert stall.snapshot_path is not None
+        _, header = read_checkpoint(stall.snapshot_path)
+        assert header["stalled"] is True
+
+    def test_stall_without_checkpoint_dir(self):
+        config = tiny_config(cores=1, contexts_per_core=1)
+        with pytest.raises(SimulationStalled) as info:
+            run_simulation(
+                config, [_WedgingWorkload()], total_accesses=100_000,
+                watchdog_timeout=0.3,
+            )
+        assert info.value.snapshot_path is None
+
+
+# ----------------------------------------------------------------------
+# Seed derivation (satellite)
+# ----------------------------------------------------------------------
+class TestSeedDerivation:
+    def test_no_linear_collisions(self):
+        # The old seed + 97 * vm_id scheme collided exactly here.
+        assert derive_stream_seed(97, 0) != derive_stream_seed(0, 1)
+        assert derive_stream_seed(194, 0) != derive_stream_seed(97, 1)
+
+    def test_distinct_across_vms_and_seeds(self):
+        seen = {
+            derive_stream_seed(seed, vm_id)
+            for seed in range(20) for vm_id in range(4)
+        }
+        assert len(seen) == 80
+
+    def test_derivation_recorded_in_result(self):
+        config = tiny_config()
+        result = run_simulation(
+            config, tiny_mix(config), total_accesses=2_000, seed=5
+        )
+        derivation = result.extra["seed_derivation"]
+        assert derivation["scheme"] == "blake2b8(repro.stream:{seed}:{vm_id})"
+        assert set(derivation["stream_seeds"]) == {"0", "1"}
+        assert derivation["stream_seeds"]["0"] == derive_stream_seed(5, 0)

@@ -229,3 +229,56 @@ class TestTrace:
             "trace", "run", path, "--scheme", "pom-tlb",
             "--accesses", "2000",
         ]) == 0
+
+
+class TestRunRobustness:
+    def test_checkpoint_restore_roundtrip(self, tmp_path, capsys):
+        ckpt_dir = str(tmp_path / "ckpts")
+        code = main([
+            "run", "--mix", "gups", "--scheme", "csalt-cd",
+            "--accesses", "3000", "--checkpoint-every", "1000",
+            "--checkpoint-dir", ckpt_dir, "--json",
+        ])
+        assert code == 0
+        full = json.loads(capsys.readouterr().out)["result"]
+        code = main([
+            "run", "--mix", "gups", "--scheme", "csalt-cd",
+            "--accesses", "3000", "--checkpoint-dir", ckpt_dir,
+            "--restore", "auto", "--json",
+        ])
+        assert code == 0
+        resumed = json.loads(capsys.readouterr().out)["result"]
+        assert resumed["extra"]["host_restored_from"].endswith(".ckpt")
+        strip = lambda d: {
+            k: v for k, v in d["extra"].items() if not k.startswith("host_")
+        }
+        assert strip(resumed) == strip(full)
+        assert resumed["ipc"] == full["ipc"]
+
+    def test_checkpoint_every_requires_dir(self, capsys):
+        code = main([
+            "run", "--mix", "gups", "--accesses", "2000",
+            "--checkpoint-every", "500",
+        ])
+        assert code == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_restore_auto_requires_dir(self, capsys):
+        code = main([
+            "run", "--mix", "gups", "--accesses", "2000",
+            "--restore", "auto",
+        ])
+        assert code == 2
+
+    def test_check_invariants_clean_run(self, capsys):
+        code = main([
+            "run", "--mix", "gups", "--scheme", "csalt-cd",
+            "--accesses", "3000", "--check-invariants", "500",
+            "--replacement", "nru",
+        ])
+        assert code == 0
+        assert "IPC (geomean)" in capsys.readouterr().out
+
+    def test_replacement_flag_validated(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--replacement", "fifo"])

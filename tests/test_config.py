@@ -7,6 +7,7 @@ from repro.sim.config import (
     CYCLES_PER_MS,
     CacheConfig,
     SystemConfig,
+    TlbConfig,
     small_config,
 )
 
@@ -95,3 +96,39 @@ class TestValidation:
     def test_base_cpi_positive(self):
         with pytest.raises(ValueError):
             SystemConfig(base_cpi=0.0)
+
+
+class TestRobustnessValidation:
+    """New checks: checkpoint cadences, PLRU geometry, partition minima."""
+
+    def test_checkpoint_every_must_be_positive(self):
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            SystemConfig(checkpoint_every=0)
+        assert SystemConfig(checkpoint_every=1_000).checkpoint_every == 1_000
+
+    def test_check_invariants_must_be_positive(self):
+        with pytest.raises(ValueError, match="check_invariants"):
+            SystemConfig(check_invariants=-5)
+
+    def test_plru_requires_power_of_two_ways(self):
+        with pytest.raises(ValueError, match="l3.ways"):
+            SystemConfig(
+                replacement="plru",
+                l3=CacheConfig(6 * 1024 * 1024, 12, 42),
+            )
+        SystemConfig(replacement="plru")  # default 4/16 ways are fine
+
+    def test_partitioning_needs_room_for_both_streams(self):
+        with pytest.raises(ValueError, match="l2.ways"):
+            SystemConfig(
+                scheme=Scheme.CSALT_CD,
+                l2=CacheConfig(64 * 1024, 1, 12),
+            )
+
+    def test_static_split_respects_n_min(self):
+        with pytest.raises(ValueError, match="static_data_ways"):
+            SystemConfig(scheme=Scheme.CSALT_STATIC, static_data_ways=0)
+
+    def test_tlb_entries_divisible_by_ways(self):
+        with pytest.raises(ValueError, match="tlb.l2_entries"):
+            SystemConfig(tlb=TlbConfig(l2_entries=1000, l2_ways=12))

@@ -217,3 +217,53 @@ class TestInterrupt:
 
     def test_campaign_interrupted_is_keyboard_interrupt(self):
         assert issubclass(CampaignInterrupted, KeyboardInterrupt)
+
+
+class TestWorkerCheckpoints:
+    """checkpoint_every: a killed worker's retry resumes mid-simulation."""
+
+    def test_retry_restores_from_worker_checkpoint(self, tmp_path, monkeypatch):
+        from repro.checkpoint import list_checkpoints
+        from repro.experiments.pool import _point_checkpoint_dir
+        from repro.experiments.store import strip_host_fields
+
+        signature = runner.point_signature(
+            "gups", Scheme.POM_TLB, total_accesses=1_500
+        )
+        clean = runner.run_point(**runner.point_from_signature(signature))
+        expected = strip_host_fields(clean.to_dict())
+        runner.clear_cache()
+
+        real_run_point = runner.run_point
+        died_marker = tmp_path / "died-once"
+        restored_marker = tmp_path / "restored-from"
+
+        def dies_after_first_simulation(**kwargs):
+            result = real_run_point(**kwargs)
+            if kwargs.get("checkpoint_dir") and not died_marker.exists():
+                # Simulate a crash after checkpointing but before the
+                # result reaches the parent: snapshots stay on disk.
+                died_marker.touch()
+                os._exit(1)
+            restored = result.extra.get("host_restored_from")
+            if restored is not None:
+                restored_marker.write_text(restored)
+            return result
+
+        monkeypatch.setattr(runner, "run_point", dies_after_first_simulation)
+        store = ResultStore(tmp_path / "store")
+        summary = run_campaign(
+            [signature], jobs=2, store=store, resume=False,
+            retries=2, backoff=0.01, checkpoint_every=500,
+        )
+        assert summary.ok
+        assert summary.simulated == 1
+        stored = store.load(signature)
+        assert strip_host_fields(stored.to_dict()) == expected
+        # The retry resumed from the dead worker's snapshot (the store
+        # strips host_* run-control fields, so the worker recorded it)...
+        assert died_marker.exists()
+        assert "ckpt-" in restored_marker.read_text()
+        # ...and the completed point's snapshots were cleaned up.
+        ckpt_dir = _point_checkpoint_dir(store.root, signature)
+        assert not list_checkpoints(ckpt_dir)

@@ -1,0 +1,179 @@
+"""Runtime invariant checking: the catalogue catches injected corruption,
+clean systems pass, and the campaign pool treats violations as
+non-retryable failures."""
+
+import pytest
+
+from repro.core.schemes import Scheme
+from repro.experiments import runner
+from repro.experiments.pool import run_campaign
+from repro.sim.config import small_config
+from repro.sim.engine import build_contexts, run_simulation
+from repro.sim.scheduler import ContextScheduler
+from repro.sim.system import System
+from repro.validate import (
+    InvariantChecker,
+    InvariantViolation,
+    check_cache,
+    check_monotone,
+    counter_snapshot,
+)
+from repro.workloads.mixes import make_mix
+
+
+def exercised(replacement="lru", accesses=1_600):
+    config = small_config(
+        scheme=Scheme.CSALT_CD, cores=2, contexts_per_core=2,
+        replacement=replacement,
+    )
+    system = System(config)
+    per_core = build_contexts(
+        system, make_mix("gups", config.num_vms, scale=0.25), seed=5
+    )
+    scheduler = ContextScheduler(per_core, config.switch_interval_cycles)
+    executed = 0
+    while executed < accesses:
+        for core_id in range(config.cores):
+            context = scheduler.current(core_id)
+            for _ in range(4):
+                va, is_write = next(context.stream)
+                context.ensure_mapped(va)
+                system.access(core_id, context.asid, va, is_write)
+            scheduler.maybe_switch(core_id, system.cores[core_id].stats.cycles)
+        executed += 4 * config.cores
+    return config, system, scheduler
+
+
+class TestCleanSystem:
+    @pytest.mark.parametrize("replacement", ["lru", "nru", "plru", "rrip"])
+    def test_exercised_system_passes(self, replacement):
+        _, system, scheduler = exercised(replacement)
+        checker = InvariantChecker(system, scheduler)
+        checker.check(executed=1_600)  # must not raise
+        assert checker.checks_run == 1
+        assert checker.violations_found == 0
+
+    def test_engine_run_with_checks_passes(self):
+        config = small_config(
+            scheme=Scheme.CSALT_CD, cores=2, contexts_per_core=2
+        )
+        result = run_simulation(
+            config, make_mix("gups", config.num_vms, scale=0.25),
+            total_accesses=4_000, seed=1, check_invariants=500,
+        )
+        assert result.instructions > 0
+
+
+class TestInjectedCorruption:
+    def test_duplicated_lru_way_caught(self):
+        _, system, scheduler = exercised("lru")
+        cache = system.cores[0].l2
+        cache._recency[0][0] = cache._recency[0][1]  # duplicate a way
+        checker = InvariantChecker(system, scheduler)
+        with pytest.raises(InvariantViolation) as info:
+            checker.check(executed=1_600)
+        violation = info.value
+        assert violation.component == "cache:l2-core0"
+        assert violation.invariant == "lru-permutation"
+        assert violation.context["executed"] == 1_600
+
+    def test_partition_sum_mismatch_caught(self):
+        _, system, _ = exercised("lru")
+        # Bypass set_partition: tamper with the split directly, as a bug
+        # in Algorithm 1's way assignment would.
+        system.l3._data_ways = 0
+        found = list(check_cache(system.l3))
+        assert any(v.invariant.startswith("partition") for v in found)
+
+    def test_tag_index_mismatch_caught(self):
+        _, system, _ = exercised("lru")
+        cache = system.l3
+        set_index = next(
+            i for i in range(cache.num_sets) if cache._tag_to_way[i]
+        )
+        tag = next(iter(cache._tag_to_way[set_index]))
+        cache._tag_to_way[set_index][tag] = (
+            (cache._tag_to_way[set_index][tag] + 1) % cache.ways
+        )
+        found = list(check_cache(cache))
+        assert any(v.invariant == "tag-index-mismatch" for v in found)
+
+    def test_counter_regression_caught(self):
+        _, system, _ = exercised("lru")
+        baseline = counter_snapshot(system)
+        system.cores[0].l2.stats.hits = 0  # counters never go backwards
+        system.cores[0].l2.stats.data_hits = 0
+        system.cores[0].l2.stats.tlb_hits = 0
+        found = list(check_monotone(baseline, counter_snapshot(system)))
+        assert found and found[0].invariant == "monotonicity"
+
+    def test_sweep_collects_multiple(self):
+        _, system, scheduler = exercised("lru")
+        system.cores[0].l2._recency[0][0] = system.cores[0].l2._recency[0][1]
+        system.l3._data_ways = 0
+        checker = InvariantChecker(system, scheduler)
+        with pytest.raises(InvariantViolation) as info:
+            checker.check()
+        assert info.value.others  # the rest of the sweep rides along
+
+
+class TestEngineIntegration:
+    @staticmethod
+    def _skew_stats(system):
+        # A miscounted hit split survives normal traffic (all counters
+        # keep incrementing in step) without crashing the datapath the
+        # way recency corruption would, so the first audit must see it.
+        system.cores[0].l2.stats.data_hits += 1
+
+    def test_corruption_surfaces_through_run_simulation(self):
+        config = small_config(
+            scheme=Scheme.CSALT_CD, cores=2, contexts_per_core=2
+        )
+        with pytest.raises(InvariantViolation) as info:
+            run_simulation(
+                config, make_mix("gups", config.num_vms, scale=0.25),
+                total_accesses=4_000, seed=1, check_invariants=500,
+                system_setup=self._skew_stats,
+            )
+        assert info.value.invariant == "stats-split"
+        assert info.value.component == "cache:l2-core0"
+
+    def test_config_field_fallback(self):
+        config = small_config(
+            scheme=Scheme.CSALT_CD, cores=2, contexts_per_core=2,
+            check_invariants=500,
+        )
+        with pytest.raises(InvariantViolation):
+            run_simulation(
+                config, make_mix("gups", config.num_vms, scale=0.25),
+                total_accesses=4_000, seed=1,
+                system_setup=self._skew_stats,
+            )
+
+
+class TestPoolClassification:
+    @pytest.fixture(autouse=True)
+    def fresh_runner(self):
+        runner.clear_cache()
+        runner.set_store(None)
+        yield
+        runner.clear_cache()
+        runner.set_store(None)
+
+    def test_violation_is_non_retryable(self, monkeypatch):
+        def poisoned_run_point(**kwargs):
+            raise InvariantViolation(
+                "cache:l2-core0", "lru-permutation", "way 3 duplicated"
+            )
+
+        monkeypatch.setattr(runner, "run_point", poisoned_run_point)
+        signature = runner.point_signature(
+            "gups", Scheme.POM_TLB, total_accesses=1_500
+        )
+        summary = run_campaign([signature], jobs=2, retries=2)
+        assert len(summary.failures) == 1
+        failure = summary.failures[0]
+        # Deterministic in-simulation failure: no retry burned.
+        assert failure.attempts == 1
+        assert "InvariantViolation" in failure.error
+        assert "lru-permutation" in failure.error
