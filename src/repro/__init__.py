@@ -30,6 +30,8 @@ from repro.sim.engine import run_simulation
 from repro.sim.stats import SimulationResult, geometric_mean
 from repro.sim.system import System
 from repro.telemetry import (
+    CpiStack,
+    CycleAccountant,
     EventTracer,
     HostProfiler,
     MetricsRegistry,

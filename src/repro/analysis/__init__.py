@@ -1,1 +1,1 @@
-"""repro.analysis subpackage: miss-curve and run-summary tooling."""
+"""repro.analysis subpackage: miss-curve, run-summary and diff tooling."""

@@ -6,9 +6,19 @@ Commands:
                (optionally with a POM-TLB baseline comparison); can
                export a telemetry event trace (``--trace-out``), a
                metrics JSON (``--metrics-out``), machine-readable
-               results (``--json``) and live progress (``--progress``);
-* ``stats``  — summarize a JSONL telemetry trace, optionally converting
-               it to Chrome trace_event format for chrome://tracing;
+               results (``--json``), a CPI waterfall (``--cpi``) and
+               live progress (``--progress``);
+* ``stats``  — summarize a JSONL telemetry trace *or* a stored result
+               JSON (``repro run --json`` output / store entry), with
+               ``--format table|csv|markdown`` rendering and optional
+               Chrome trace_event conversion for chrome://tracing;
+* ``diff``   — compare two result files (or two result-store
+               directories): per-metric deltas with regression flags,
+               plus a per-component CPI-stack delta when both runs
+               carried cycle accounting;
+* ``bench``  — time the simulator itself over a fixed matrix, write
+               ``BENCH_<timestamp>.json``, and optionally gate against
+               a committed baseline;
 * ``report`` — regenerate paper exhibits (all, or a named subset);
 * ``mixes``  — list the paper's programs and VM pairings;
 * ``characterize`` — profile workloads' memory behaviour without
@@ -31,6 +41,7 @@ from repro.sim.engine import run_simulation
 from repro.sim.stats import SimulationResult
 from repro.telemetry import (
     DEFAULT_TRACE_CAPACITY,
+    CycleAccountant,
     EventTracer,
     HostProfiler,
     MetricsRegistry,
@@ -110,19 +121,72 @@ def _build_parser() -> argparse.ArgumentParser:
                           "latency histograms) as JSON")
     run.add_argument("--profile", action="store_true",
                      help="profile host wall-clock per simulator component "
-                          "(table on stderr)")
+                          "(table on stderr; with --trace-out, individual "
+                          "scope spans are embedded in the trace as a "
+                          "'host' track for chrome://tracing)")
     run.add_argument("--progress", action="store_true",
                      help="live progress on stderr")
+    run.add_argument("--cpi", action="store_true",
+                     help="account every simulated cycle to a component "
+                          "and print the CPI-stack waterfall")
 
     stats = commands.add_parser(
-        "stats", help="summarize a JSONL telemetry trace"
+        "stats", help="summarize a telemetry trace or a stored result"
     )
-    stats.add_argument("path", help="trace file written by run --trace-out")
+    stats.add_argument("path",
+                       help="JSONL trace written by run --trace-out, or a "
+                            "result JSON (run --json output / store entry)")
     stats.add_argument("--chrome-out", default=None, metavar="PATH",
                        help="also write Chrome trace_event JSON "
-                            "(open in chrome://tracing or Perfetto)")
+                            "(open in chrome://tracing or Perfetto; "
+                            "trace input only)")
     stats.add_argument("--json", action="store_true",
                        help="print the summary as JSON")
+    stats.add_argument("--format", default=None,
+                       choices=("table", "csv", "markdown"),
+                       help="render the summary as a flat metric table "
+                            "instead of the prose summary")
+    stats.add_argument("--cpi", action="store_true",
+                       help="print the CPI-stack waterfall (result input "
+                            "that carries cycle accounting only)")
+
+    diff = commands.add_parser(
+        "diff", help="compare two runs (result files or store directories)"
+    )
+    diff.add_argument("a", help="baseline: result JSON or store directory")
+    diff.add_argument("b", help="candidate: result JSON or store directory")
+    diff.add_argument("--tolerance", type=float, default=0.01,
+                      metavar="FRACTION",
+                      help="relative change treated as noise "
+                           "(default 0.01 = 1%%)")
+    diff.add_argument("--json", action="store_true",
+                      help="print the comparison as JSON")
+    diff.add_argument("--fail-on-regression", action="store_true",
+                      help="exit 1 if any metric moved the wrong way "
+                           "beyond the tolerance")
+
+    bench = commands.add_parser(
+        "bench", help="benchmark simulator throughput (host wall-clock)"
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="small matrix / short runs (CI smoke)")
+    bench.add_argument("--accesses", type=_positive_int, default=None,
+                       help="override accesses per matrix point")
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--out-dir", default=".", metavar="DIR",
+                       help="directory for BENCH_<timestamp>.json")
+    bench.add_argument("--baseline", default=None, metavar="PATH",
+                       help="compare against this benchmark document and "
+                            "exit 1 on regression beyond --tolerance")
+    bench.add_argument("--tolerance", type=float, default=0.25,
+                       metavar="FRACTION",
+                       help="allowed relative throughput drop vs the "
+                            "baseline (default 0.25)")
+    bench.add_argument("--update-baseline", default=None, metavar="PATH",
+                       help="also write the document to PATH (commit it "
+                            "as the new baseline)")
+    bench.add_argument("--json", action="store_true",
+                       help="print the benchmark document as JSON")
 
     report = commands.add_parser(
         "report", help="regenerate paper exhibits (DESIGN.md section 6)"
@@ -212,13 +276,37 @@ def _build_telemetry(args: argparse.Namespace) -> Optional[Telemetry]:
     """A Telemetry bundle holding exactly the sinks the flags asked for."""
     want_trace = args.trace_out is not None
     want_metrics = args.metrics_out is not None
-    if not (want_trace or want_metrics or args.profile):
+    if not (want_trace or want_metrics or args.profile or args.cpi):
         return None
     return Telemetry(
         tracer=EventTracer(args.trace_capacity) if want_trace else None,
         metrics=MetricsRegistry() if want_metrics else None,
-        profiler=HostProfiler() if args.profile else None,
+        # Span recording only matters when the spans can go somewhere
+        # (the trace file's "host" track).
+        profiler=(
+            HostProfiler(record_spans=want_trace) if args.profile else None
+        ),
+        accounting=CycleAccountant() if args.cpi else None,
     )
+
+
+def _render_rows(rows, fmt: str) -> str:
+    """Render flat (metric, value) rows as table / csv / markdown."""
+    if fmt == "csv":
+        import csv
+        import io
+
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(["metric", "value"])
+        writer.writerows(rows)
+        return buffer.getvalue().rstrip("\n")
+    if fmt == "markdown":
+        from repro.experiments.tables import format_table
+
+        return format_table(["metric", "value"], rows)
+    width = max((len(str(name)) for name, _ in rows), default=6)
+    return "\n".join(f"{name:<{width}}  {value}" for name, value in rows)
 
 
 def _command_run(args: argparse.Namespace) -> int:
@@ -282,11 +370,20 @@ def _command_run(args: argparse.Namespace) -> int:
     elapsed = perf_counter() - started
 
     if args.trace_out:
-        written = telemetry.tracer.write_jsonl(args.trace_out)
+        from repro.telemetry import host_spans_to_events
+
+        host_events = None
+        if telemetry.profiler is not None and telemetry.profiler.spans:
+            host_events = host_spans_to_events(telemetry.profiler.spans)
+        written = telemetry.tracer.write_jsonl(
+            args.trace_out, extra=host_events
+        )
         note = (
             f" ({telemetry.tracer.dropped} older events dropped by the ring)"
             if telemetry.tracer.dropped else ""
         )
+        if host_events:
+            note += f" (+{len(host_events)} host profiler spans)"
         print(f"wrote {written} events to {args.trace_out}{note}",
               file=sys.stderr)
     if args.metrics_out:
@@ -318,27 +415,155 @@ def _command_run(args: argparse.Namespace) -> int:
         print(json.dumps(document, indent=2, sort_keys=True))
     else:
         _print_result(result, baseline)
+        if args.cpi:
+            if result.cpi_stack is not None:
+                print()
+                print(result.cpi_stack.waterfall())
+            else:
+                print("no CPI stack recorded for this run", file=sys.stderr)
         print(f"(simulated in {elapsed:.1f}s)")
     return 0
 
 
+def _result_rows(result: SimulationResult) -> List:
+    """Flat (metric, value) rows off a result's scalar fields."""
+    rows = []
+    for name, value in result.to_dict().items():
+        if isinstance(value, (int, float, str)):
+            rows.append((name, round(value, 6) if isinstance(value, float)
+                         else value))
+    return rows
+
+
+def _sniff_result_document(path: str):
+    """A parsed JSON object when ``path`` holds a single result-shaped
+    document (``run --json`` output, store entry, or bare result dict);
+    ``None`` when it is anything else (e.g. a JSONL trace)."""
+    try:
+        with open(path) as handle:
+            document = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(document, dict):
+        return None
+    candidate = document.get("result", document)
+    if isinstance(candidate, dict) and "per_core" in candidate:
+        return document
+    return None
+
+
 def _command_stats(args: argparse.Namespace) -> int:
     from repro.telemetry import read_events, summarize_events, write_chrome_trace
+
+    if _sniff_result_document(args.path) is not None:
+        from repro.analysis.diff import DiffError, load_result_file
+
+        if args.chrome_out:
+            print("--chrome-out needs a JSONL event trace, not a result",
+                  file=sys.stderr)
+            return 2
+        try:
+            result = load_result_file(args.path)
+        except DiffError as exc:
+            print(f"cannot read result: {exc}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        elif args.format:
+            print(_render_rows(_result_rows(result), args.format))
+        else:
+            _print_result(result)
+        if args.cpi:
+            if result.cpi_stack is None:
+                print("result carries no CPI stack (run with --cpi or use "
+                      "the experiment runner)", file=sys.stderr)
+                return 1
+            print()
+            print(result.cpi_stack.waterfall())
+        return 0
 
     try:
         events = read_events(args.path)
     except (OSError, ValueError) as exc:
         print(f"cannot read trace: {exc}", file=sys.stderr)
         return 2
+    if args.cpi:
+        print("--cpi needs a result JSON (CPI stacks are not in traces)",
+              file=sys.stderr)
+        return 2
     summary = summarize_events(events)
     if args.json:
         print(json.dumps(summary.to_dict(), indent=2, sort_keys=True))
+    elif args.format:
+        print(_render_rows(summary.rows(), args.format))
     else:
         print(summary.format())
     if args.chrome_out:
         write_chrome_trace(events, args.chrome_out)
         print(f"wrote Chrome trace to {args.chrome_out} "
               "(open in chrome://tracing)", file=sys.stderr)
+    return 0
+
+
+def _command_diff(args: argparse.Namespace) -> int:
+    from repro.analysis.diff import DiffError, diff_paths
+
+    try:
+        comparison = diff_paths(args.a, args.b, tolerance=args.tolerance)
+    except DiffError as exc:
+        print(f"diff error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(comparison.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(comparison.format())
+    if args.fail_on_regression and comparison.regressions:
+        print(f"{len(comparison.regressions)} regression(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _command_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.bench import (
+        BenchError,
+        compare_bench,
+        format_bench,
+        load_bench,
+        run_bench,
+        write_bench,
+    )
+
+    document = run_bench(
+        quick=args.quick, accesses=args.accesses, seed=args.seed,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    path = write_bench(document, args.out_dir)
+    print(f"wrote {path}", file=sys.stderr)
+    if args.update_baseline:
+        with open(args.update_baseline, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"updated baseline {args.update_baseline}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        print(format_bench(document))
+    if args.baseline:
+        # The artifact is already on disk: a failing comparison still
+        # leaves BENCH_*.json for CI to upload.
+        try:
+            baseline = load_bench(args.baseline)
+        except BenchError as exc:
+            print(f"bench error: {exc}", file=sys.stderr)
+            return 2
+        problems = compare_bench(document, baseline,
+                                 tolerance=args.tolerance)
+        if problems:
+            for problem in problems:
+                print(f"REGRESSION: {problem}", file=sys.stderr)
+            return 1
+        print(f"throughput within {args.tolerance:.0%} of baseline",
+              file=sys.stderr)
     return 0
 
 
@@ -462,6 +687,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_run(args)
     if args.command == "stats":
         return _command_stats(args)
+    if args.command == "diff":
+        return _command_diff(args)
+    if args.command == "bench":
+        return _command_bench(args)
     if args.command == "report":
         return _command_report(args)
     if args.command == "mixes":

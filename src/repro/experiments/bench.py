@@ -1,0 +1,211 @@
+"""Performance benchmarking harness: how fast is the simulator itself?
+
+The repo's pytest "benchmarks" validate paper *numbers*; this module
+measures the simulator's *host throughput* so a refactor that slows the
+hot path 2x is caught before it lands.  ``repro bench`` runs a fixed
+matrix of (mix, scheme, replacement) points, records host wall-clock
+seconds plus derived accesses/second and simulated-cycles/second for
+each, and writes the document as ``BENCH_<timestamp>.json``.
+
+Runs execute with cycle accounting enabled — the observability default —
+so the benchmark times the instrumented path users actually pay for.
+
+A current run can be compared against a committed baseline
+(``benchmarks/bench_baseline.json``) with a relative tolerance: CI's
+``bench-smoke`` job fails when aggregate throughput regresses by more
+than 25%.  The tolerance is deliberately loose — shared CI runners
+jitter — so only step-function regressions trip it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.core.schemes import Scheme
+from repro.sim.config import small_config
+from repro.sim.engine import run_simulation
+from repro.telemetry import CycleAccountant, Telemetry
+from repro.workloads.mixes import make_mix
+
+SCHEMA_VERSION = 1
+
+#: Throughput may drop this much relative to baseline before failing.
+DEFAULT_TOLERANCE = 0.25
+
+#: The quick matrix: one translation-light and one translation-heavy
+#: point per scheme family, small enough for a CI smoke job.
+QUICK_MATRIX: List[Dict[str, object]] = [
+    {"mix": "gups", "scheme": "conventional", "replacement": "lru"},
+    {"mix": "gups", "scheme": "pom-tlb", "replacement": "lru"},
+    {"mix": "gups", "scheme": "csalt-cd", "replacement": "lru"},
+]
+
+#: The full matrix adds a second mix, the remaining schemes and a
+#: non-default replacement policy.
+FULL_MATRIX: List[Dict[str, object]] = QUICK_MATRIX + [
+    {"mix": "gups", "scheme": "csalt-d", "replacement": "lru"},
+    {"mix": "gups", "scheme": "tsb", "replacement": "lru"},
+    {"mix": "graph500_gups", "scheme": "csalt-cd", "replacement": "lru"},
+    {"mix": "graph500_gups", "scheme": "csalt-cd", "replacement": "plru"},
+]
+
+QUICK_ACCESSES = 8_000
+FULL_ACCESSES = 40_000
+
+
+class BenchError(RuntimeError):
+    """A benchmark document could not be read or compared."""
+
+
+def _point_id(point: Dict[str, object]) -> str:
+    return f"{point['mix']}/{point['scheme']}/{point['replacement']}"
+
+
+def run_bench(
+    quick: bool = False,
+    accesses: Optional[int] = None,
+    seed: int = 0,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, object]:
+    """Run the benchmark matrix and return the result document."""
+    matrix = QUICK_MATRIX if quick else FULL_MATRIX
+    total = accesses if accesses is not None else (
+        QUICK_ACCESSES if quick else FULL_ACCESSES
+    )
+    points: List[Dict[str, object]] = []
+    for point in matrix:
+        if progress is not None:
+            progress(f"bench {_point_id(point)} x {total} accesses")
+        config = small_config(
+            scheme=Scheme(point["scheme"]),
+            replacement=str(point["replacement"]),
+        )
+        workloads = make_mix(str(point["mix"]), scale=0.25)
+        telemetry = Telemetry(accounting=CycleAccountant())
+        result = run_simulation(
+            config, workloads, total_accesses=total, seed=seed,
+            workload_name=str(point["mix"]), telemetry=telemetry,
+        )
+        points.append({
+            "point": _point_id(point),
+            "mix": point["mix"],
+            "scheme": point["scheme"],
+            "replacement": point["replacement"],
+            "accesses": total,
+            "host_seconds": float(result.extra["host_seconds"]),
+            "accesses_per_second": float(
+                result.extra["host_accesses_per_second"]
+            ),
+            "sim_cycles_per_second": float(
+                result.extra["host_sim_cycles_per_second"]
+            ),
+            "ipc": result.ipc,
+        })
+    rates = [p["accesses_per_second"] for p in points
+             if p["accesses_per_second"] > 0]
+    # Harmonic mean: total work over total time, so one slow point is
+    # not papered over by several fast ones.
+    aggregate = len(rates) / sum(1.0 / r for r in rates) if rates else 0.0
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "quick": quick,
+        "accesses_per_point": total,
+        "seed": seed,
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "points": points,
+        "aggregate_accesses_per_second": aggregate,
+    }
+
+
+def write_bench(
+    document: Dict[str, object], out_dir: str = "."
+) -> str:
+    """Write ``BENCH_<timestamp>.json`` into ``out_dir``; returns path."""
+    os.makedirs(out_dir, exist_ok=True)
+    stamp = time.strftime("%Y%m%d-%H%M%S")
+    path = os.path.join(out_dir, f"BENCH_{stamp}.json")
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_bench(path: str) -> Dict[str, object]:
+    """Load and sanity-check a benchmark document."""
+    try:
+        with open(path) as handle:
+            document = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise BenchError(f"cannot read benchmark {path}: {exc}") from exc
+    if not isinstance(document, dict) or "points" not in document:
+        raise BenchError(f"{path} is not a benchmark document")
+    if document.get("schema_version") != SCHEMA_VERSION:
+        raise BenchError(
+            f"{path}: schema_version "
+            f"{document.get('schema_version')!r} != {SCHEMA_VERSION}"
+        )
+    return document
+
+
+def compare_bench(
+    current: Dict[str, object],
+    baseline: Dict[str, object],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> List[str]:
+    """Regressions of ``current`` vs ``baseline`` (empty = pass).
+
+    Throughput is compared in relative terms: the aggregate and each
+    matched point must stay above ``(1 - tolerance)`` of the baseline
+    rate.  Points present on only one side are reported informationally
+    by the CLI but are not failures — the matrix is allowed to grow.
+    """
+    problems: List[str] = []
+    base_aggregate = float(baseline.get("aggregate_accesses_per_second", 0.0))
+    cur_aggregate = float(current.get("aggregate_accesses_per_second", 0.0))
+    if base_aggregate > 0 and cur_aggregate < base_aggregate * (1 - tolerance):
+        problems.append(
+            f"aggregate throughput {cur_aggregate:,.0f} acc/s is "
+            f"{1 - cur_aggregate / base_aggregate:.1%} below baseline "
+            f"{base_aggregate:,.0f} acc/s (tolerance {tolerance:.0%})"
+        )
+    base_points = {p["point"]: p for p in baseline.get("points", [])}
+    for point in current.get("points", []):
+        base = base_points.get(point["point"])
+        if base is None:
+            continue
+        base_rate = float(base.get("accesses_per_second", 0.0))
+        cur_rate = float(point.get("accesses_per_second", 0.0))
+        if base_rate > 0 and cur_rate < base_rate * (1 - tolerance):
+            problems.append(
+                f"{point['point']}: {cur_rate:,.0f} acc/s is "
+                f"{1 - cur_rate / base_rate:.1%} below baseline "
+                f"{base_rate:,.0f} acc/s"
+            )
+    return problems
+
+
+def format_bench(document: Dict[str, object]) -> str:
+    """Human-readable table for one benchmark document."""
+    lines = [
+        f"{'point':<28} {'accesses':>9} {'seconds':>8} "
+        f"{'acc/s':>10} {'Mcyc/s':>8}"
+    ]
+    for point in document.get("points", []):
+        lines.append(
+            f"{point['point']:<28} {point['accesses']:>9} "
+            f"{point['host_seconds']:>8.2f} "
+            f"{point['accesses_per_second']:>10,.0f} "
+            f"{point['sim_cycles_per_second'] / 1e6:>8.2f}"
+        )
+    lines.append(
+        f"aggregate (harmonic mean)               "
+        f"{document.get('aggregate_accesses_per_second', 0.0):>10,.0f} acc/s"
+    )
+    return "\n".join(lines)

@@ -28,6 +28,7 @@ from repro.experiments.store import ResultStore
 from repro.sim.config import SMALL_WORKLOAD_SCALE, SystemConfig, small_config
 from repro.sim.engine import run_simulation
 from repro.sim.stats import SimulationResult
+from repro.telemetry import CycleAccountant, Telemetry
 from repro.workloads.mixes import MIX_NAMES, make_mix
 
 #: Fallback run length / seed when the ``REPRO_*`` variables are unset.
@@ -221,6 +222,9 @@ def run_point(
         checkpoint_every=checkpoint_every,
         checkpoint_dir=checkpoint_dir,
         restore=restore,
+        # Every experiment point carries a cycle ledger, so stored
+        # results can be differenced per CPI component (``repro diff``).
+        telemetry=Telemetry(accounting=CycleAccountant()),
     )
     if partition_l2_only or partition_l3_only:
         result = _run_partial_partition(

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.telemetry.accounting import quantize_cycles
+
 
 @dataclass
 class MshrModel:
@@ -54,8 +56,14 @@ class MshrModel:
         self._miss_rate += self.decay * (target - self._miss_rate)
 
     def data_stall(self, raw_latency: float) -> float:
-        """Effective pipeline stall for a data miss of ``raw_latency`` cycles."""
-        return raw_latency / self.mlp
+        """Effective pipeline stall for a data miss of ``raw_latency`` cycles.
+
+        Quantized to 1/1024 cycle so the stall is a dyadic rational: the
+        cycle-accounting ledger can then sum components bit-exactly to
+        the core clock (see :mod:`repro.telemetry.accounting`).  The
+        perturbation is below half a quantum (< 0.0005 cycles) per miss.
+        """
+        return quantize_cycles(raw_latency / self.mlp)
 
     def translation_stall(self, raw_latency: float) -> float:
         """Translation misses block the pipeline: charged in full."""

@@ -430,6 +430,15 @@ def run_simulation(
     # ``host_``-prefixed extras are host-dependent run-control facts; the
     # result store and the determinism oracle strip them before comparing.
     result.extra["host_seconds"] = elapsed
+    # Throughput facts for the ``repro bench`` harness: how fast the host
+    # chewed through simulated work this run.
+    simulated_cycles = sum(core.cycles for core in result.per_core)
+    result.extra["host_accesses_per_second"] = (
+        executed / elapsed if elapsed > 0 else 0.0
+    )
+    result.extra["host_sim_cycles_per_second"] = (
+        simulated_cycles / elapsed if elapsed > 0 else 0.0
+    )
     if writer is not None:
         result.extra["host_checkpoints_written"] = writer.written
     if restored_from is not None:

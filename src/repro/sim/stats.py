@@ -20,7 +20,9 @@ from __future__ import annotations
 import math
 import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
+
+from repro.telemetry.accounting import CpiStack
 
 
 @dataclass
@@ -144,6 +146,10 @@ class SimulationResult:
     occupancy_samples: List[OccupancySample] = field(default_factory=list)
     l2_partition_timeline: List[Tuple[int, float]] = field(default_factory=list)
     l3_partition_timeline: List[Tuple[int, float]] = field(default_factory=list)
+    #: Per-component cycle attribution (present when the run carried a
+    #: :class:`~repro.telemetry.accounting.CycleAccountant`); the
+    #: components sum bit-exactly to the per-core cycle totals.
+    cpi_stack: Optional[CpiStack] = None
     #: Free-form counters; ints stay ints so persisted results round-trip
     #: exactly (``host_seconds`` is the one host-dependent key).
     extra: Dict[str, object] = field(default_factory=dict)
@@ -269,6 +275,9 @@ class SimulationResult:
                 [count, fraction]
                 for count, fraction in self.l3_partition_timeline
             ],
+            "cpi_stack": (
+                None if self.cpi_stack is None else self.cpi_stack.to_dict()
+            ),
             "extra": dict(self.extra),
         }
 
@@ -305,5 +314,9 @@ class SimulationResult:
                 (int(count), float(fraction))
                 for count, fraction in data.get("l3_partition_timeline", [])
             ],
+            cpi_stack=(
+                CpiStack.from_dict(data["cpi_stack"])
+                if data.get("cpi_stack") else None
+            ),
             extra=dict(data.get("extra", {})),
         )

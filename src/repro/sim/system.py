@@ -31,6 +31,7 @@ from repro.mem.mshr import MshrModel
 from repro.sim.config import SystemConfig
 from repro.sim.stats import CoreStats, OccupancySample, SimulationResult
 from repro.telemetry import Telemetry
+from repro.telemetry.accounting import quantize_cycles
 from repro.telemetry.events import (
     EVENT_POM_LOOKUP,
     EVENT_SHOOTDOWN,
@@ -77,6 +78,15 @@ class System:
         #: single ``is None`` check (tier-1 timing unaffected).
         self.telemetry = telemetry
         self._profiler = telemetry.profiler if telemetry is not None else None
+        #: Optional cycle-accounting ledger.  The System owns it for the
+        #: lifetime of this machine, so a reused Telemetry bundle starts
+        #: from a clean ledger (the previous machine's charges would
+        #: otherwise break the sum invariant).
+        self.accounting = (
+            telemetry.accounting if telemetry is not None else None
+        )
+        if self.accounting is not None:
+            self.accounting.reset()
         self._walk_hist = None
         self._pom_hit_hist = None
         self.host_memory = HostPhysicalMemory(
@@ -120,6 +130,13 @@ class System:
         self.cores: List[CoreState] = []
         for core_id in range(config.cores):
             self.cores.append(self._build_core(core_id))
+        #: One memory instruction retires 1 + nonmem_per_mem companions;
+        #: the base charge is quantized to a dyadic rational so the
+        #: cycle-accounting sum invariant can hold bit-exactly.
+        self._instructions_per_access = 1 + config.nonmem_per_mem
+        self._base_cycles = quantize_cycles(
+            self._instructions_per_access * config.base_cpi
+        )
 
         self.l3_controller = self._build_controller(self.l3, "l3")
         self._apply_static_partition()
@@ -178,6 +195,7 @@ class System:
             psc_config=cfg.psc,
             levels=cfg.page_table_levels,
         )
+        core.walker.accountant = self.accounting
         core.l2_controller = self._build_controller(l2, "l2", core)
         if self._prefetch_enabled:
             core.prefetcher = SequentialTlbPrefetcher()
@@ -354,7 +372,10 @@ class System:
         """A reference entering the core's L2 data cache (Figure 6 path)."""
         line = line_address(address)
         l2 = core.l2
+        acct = self.accounting
         latency = l2.latency
+        if acct is not None:
+            acct.charge_level(".l2", l2.latency)
         hit = l2.lookup(line, kind, is_write)
         if core.l2_controller is not None:
             set_index, tag = l2.index_of(line)
@@ -364,6 +385,8 @@ class System:
                 self.tlb_ref_levels["l2"] += 1
             return latency
         latency += self.l3.latency
+        if acct is not None:
+            acct.charge_level(".l3", self.l3.latency)
         l3_hit = self.l3.lookup(line, kind, False)
         if self.l3_controller is not None:
             set_index, tag = self.l3.index_of(line)
@@ -371,7 +394,10 @@ class System:
         if kind is LineKind.TLB:
             self.tlb_ref_levels["l3" if l3_hit else "dram"] += 1
         if not l3_hit:
-            latency += self._dram_access(line)
+            dram_latency = self._dram_access(line)
+            latency += dram_latency
+            if acct is not None:
+                acct.charge_level(".dram", dram_latency)
             # Dirty L3 victims drain to DRAM through the write buffer; no
             # latency is charged on the demand path.
             self.l3.fill(line, kind)
@@ -398,12 +424,18 @@ class System:
     def _walk(self, core: CoreState, asid: Asid, virtual_address: int) -> TlbEntry:
         vm = self.vms[asid.vm_id]
         core.stats.page_walks += 1
+        acct = self.accounting
+        # The walker sets its own per-level charging contexts; save the
+        # caller's (POM/TSB/none) and put it back afterwards.
+        saved = acct.context(None) if acct is not None else None
         prof = self._profiler
         if prof is not None:
             with prof.scope("walker"):
                 result = self._do_walk(core, vm, asid, virtual_address)
         else:
             result = self._do_walk(core, vm, asid, virtual_address)
+        if acct is not None:
+            acct.restore(saved)
         tel = self.telemetry
         if tel is not None:
             if tel.tracer is not None:
@@ -437,6 +469,8 @@ class System:
     ) -> Tuple[int, TlbEntry]:
         """POM-TLB path: probe (through the caches), walk on miss."""
         pom = self.pom
+        acct = self.accounting
+        saved = acct.context("pom", split=True) if acct is not None else None
         latency = 0
         probes = 0
         entry = None
@@ -465,6 +499,8 @@ class System:
             if hit and self._pom_hit_hist is not None:
                 self._pom_hit_hist.record(latency)
         if entry is not None:
+            if acct is not None:
+                acct.restore(saved)
             if core.prefetcher is not None:
                 self._maybe_prefetch(core, asid, virtual_address, entry.page_bits)
             return latency, entry
@@ -474,6 +510,8 @@ class System:
         # The fill dirties the set line in the cache hierarchy.
         fill_addr = pom.set_address(asid, virtual_address, entry.page_bits)
         latency += self._mem_from_l2(core, fill_addr, LineKind.TLB, True)
+        if acct is not None:
+            acct.restore(saved)
         if core.prefetcher is not None:
             self._maybe_prefetch(core, asid, virtual_address, entry.page_bits)
         return latency, entry
@@ -484,8 +522,20 @@ class System:
         """Sequential TLB prefetch off the critical path.
 
         The probe's cache traffic is modeled (it can pollute), but no
-        stall is charged to the demanding instruction.
+        stall is charged to the demanding instruction — so the cycle
+        accountant's context is suppressed for the duration.
         """
+        acct = self.accounting
+        saved = acct.context(None) if acct is not None else None
+        try:
+            self._prefetch_body(core, asid, virtual_address, page_bits)
+        finally:
+            if acct is not None:
+                acct.restore(saved)
+
+    def _prefetch_body(
+        self, core: CoreState, asid: Asid, virtual_address: int, page_bits: int
+    ) -> None:
         prefetcher = core.prefetcher
         vpn = virtual_address >> page_bits
         if not prefetcher.observe_miss(asid, vpn):
@@ -543,8 +593,22 @@ class System:
         the probe's own address needs a nested translation; a hit is then
         followed by a host TSB probe (gPA -> hPA).  Native: one probe.
         """
+        acct = self.accounting
+        saved = acct.context("tsb", split=True) if acct is not None else None
+        try:
+            return self._tsb_body(core, asid, virtual_address)
+        finally:
+            if acct is not None:
+                acct.restore(saved)
+
+    def _tsb_body(
+        self, core: CoreState, asid: Asid, virtual_address: int
+    ) -> Tuple[int, TlbEntry]:
+        acct = self.accounting
         vm = self.vms[asid.vm_id]
         latency = TSB_TRAP_CYCLES
+        if acct is not None:
+            acct.charge("tsb.trap", TSB_TRAP_CYCLES)
         predicted, other = (
             (PAGE_2M_BITS, PAGE_4K_BITS)
             if self._tsb_predictor.predict(asid) == PAGE_2M_BITS
@@ -562,6 +626,8 @@ class System:
             if entry is None:
                 entry = self._walk(core, asid, virtual_address)
                 latency += self._last_walk_latency + TSB_TRAP_CYCLES
+                if acct is not None:
+                    acct.charge("tsb.trap", TSB_TRAP_CYCLES)
                 tsb.insert(asid, virtual_address, entry)
             self._tsb_predictor.update(asid, entry.page_bits)
             return latency, entry
@@ -593,6 +659,8 @@ class System:
         if host_entry is None:
             entry = self._walk(core, asid, virtual_address)
             latency += self._last_walk_latency + TSB_TRAP_CYCLES
+            if acct is not None:
+                acct.charge("tsb.trap", TSB_TRAP_CYCLES)
             guest_translation = vm.guest_table(asid.process_id).lookup(
                 virtual_address
             )
@@ -616,6 +684,8 @@ class System:
     ) -> Tuple[int, TlbEntry]:
         """Service an L1 TLB miss; returns (stall cycles, translation)."""
         latency = core.l2_tlb.latency
+        if self.accounting is not None:
+            self.accounting.charge("tlb.l2tlb", core.l2_tlb.latency)
         entry = core.l2_tlb.lookup(asid, virtual_address)
         if entry is not None:
             if core.prefetcher is not None:
@@ -654,27 +724,51 @@ class System:
         """Run one memory instruction (plus its non-memory companions)."""
         core = self.cores[core_id]
         stats = core.stats
-        cfg = self.config
-        instructions = 1 + cfg.nonmem_per_mem
-        cycles = instructions * cfg.base_cpi
+        instructions = self._instructions_per_access
+        cycles = self._base_cycles
+        acct = self.accounting
+        if acct is not None:
+            acct.begin(core_id, asid.vm_id)
+            acct.charge("base", cycles)
 
         entry = core.l1_tlb.lookup(asid, virtual_address)
         if entry is None:
             stats.l1_tlb_misses += 1
+            mark = acct.charged if acct is not None else 0.0
             stall, entry = self.translate_beyond_l1(core, asid, virtual_address)
             # Translation is blocking: the full latency stalls the core.
             cycles += stall
             stats.translation_stall_cycles += stall
+            if acct is not None:
+                # Anything the translation path forgot to attribute lands
+                # in a residual bucket, keeping the sum invariant
+                # structural (tests assert the residual is zero).
+                residual = stall - (acct.charged - mark)
+                if residual:
+                    acct.charge("translation.other", residual)
 
         page_mask = (1 << entry.page_bits) - 1
         physical = (entry.frame_base << PAGE_4K_BITS) + (virtual_address & page_mask)
+        if acct is not None:
+            mark = acct.charged
+            saved = acct.context("data", split=True)
         data_latency = self._data_access(core, physical, is_write)
+        if acct is not None:
+            acct.restore(saved)
         miss_latency = data_latency - core.l1d.latency
         core.mshr.observe(miss_latency > 0)
+        stall = 0.0
         if miss_latency > 0:
             stall = core.mshr.data_stall(miss_latency)
             cycles += stall
             stats.data_stall_cycles += stall
+        if acct is not None:
+            # The ledger booked the *raw* per-level latencies; only the
+            # MLP-discounted stall hit the clock.  The (negative) credit
+            # is their exact difference.
+            credit = stall - (acct.charged - mark)
+            if credit:
+                acct.charge("data.mlp_credit", credit)
 
         stats.cycles += cycles
         stats.instructions += instructions
@@ -695,10 +789,18 @@ class System:
         total number of TLB entries dropped.
         """
         dropped = 0
+        acct = self.accounting
         for core in self.cores:
             dropped += core.l1_tlb.invalidate_page(asid, virtual_address)
             dropped += core.l2_tlb.invalidate_page(asid, virtual_address)
             core.stats.cycles += self.SHOOTDOWN_CYCLES_PER_CORE
+            if acct is not None:
+                acct.charge_to(
+                    core.core_id,
+                    asid.vm_id,
+                    "shootdown",
+                    self.SHOOTDOWN_CYCLES_PER_CORE,
+                )
         if self.pom is not None:
             dropped += self.pom.invalidate(asid, virtual_address)
         if self.telemetry is not None:
@@ -759,6 +861,9 @@ class System:
         tel = self.telemetry
         if tel is not None and tel.tracer is not None:
             tel.tracer.clear()
+        # The cycle ledger must track the zeroed clocks exactly.
+        if self.accounting is not None:
+            self.accounting.reset()
 
     def sample_occupancy(self) -> OccupancySample:
         """Scan L2/L3 contents for the Figure 3 occupancy metric."""
@@ -789,6 +894,15 @@ class System:
         l3_timeline = []
         if self.l3_controller is not None:
             l3_timeline = self.l3_controller.tlb_fraction_timeline()
+        cpi_stack = None
+        if self.accounting is not None and self.accounting.synced:
+            cpi_stack = self.accounting.build_stack(
+                scheme=self.scheme.value,
+                num_cores=len(self.cores),
+                instructions=sum(
+                    core.stats.instructions for core in self.cores
+                ),
+            )
         return SimulationResult(
             scheme=self.scheme.value,
             workload=workload_name,
@@ -807,6 +921,7 @@ class System:
             occupancy_samples=list(self.occupancy_samples),
             l2_partition_timeline=l2_timeline,
             l3_partition_timeline=l3_timeline,
+            cpi_stack=cpi_stack,
             extra={
                 "ddr_accesses": float(self.ddr.stats.accesses),
                 "ddr_row_hit_rate": self.ddr.stats.row_hit_rate,
@@ -879,6 +994,10 @@ class System:
             "total_accesses": self._total_accesses,
             "last_walk_latency": self._last_walk_latency,
             "tlb_ref_levels": dict(self.tlb_ref_levels),
+            "accounting": (
+                None if self.accounting is None
+                else self.accounting.state_dict()
+            ),
         }
 
     def load_state(self, state: dict) -> None:
@@ -954,3 +1073,11 @@ class System:
         self._total_accesses = state["total_accesses"]
         self._last_walk_latency = state["last_walk_latency"]
         self.tlb_ref_levels = dict(state["tlb_ref_levels"])
+        if self.accounting is not None:
+            accounting_state = state.get("accounting")
+            if accounting_state is not None:
+                self.accounting.load_state(accounting_state)
+            else:
+                # Snapshot predates the ledger: charges since warmup are
+                # unknown, so the sum invariant can no longer be audited.
+                self.accounting.mark_unsynced()

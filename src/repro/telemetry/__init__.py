@@ -1,13 +1,16 @@
-"""Telemetry: structured event tracing, metrics, and host profiling.
+"""Telemetry: event tracing, metrics, host profiling, cycle accounting.
 
-The subsystem has three independent sinks bundled by :class:`Telemetry`:
+The subsystem has four independent sinks bundled by :class:`Telemetry`:
 
 * an :class:`~repro.telemetry.events.EventTracer` — bounded ring of
   typed, cycle-stamped simulator events (JSONL / chrome://tracing);
 * a :class:`~repro.telemetry.metrics.MetricsRegistry` — hierarchical
   counters, gauges and log-scale histograms components register into;
 * a :class:`~repro.telemetry.profiling.HostProfiler` — wall-clock
-  scopes around the simulator's own code paths.
+  scopes around the simulator's own code paths;
+* a :class:`~repro.telemetry.accounting.CycleAccountant` — per-(core,
+  VM) ledger attributing every simulated cycle to a named component
+  (surfaced as ``SimulationResult.cpi_stack``).
 
 Design rule: **disabled telemetry costs one ``is None`` check** at each
 hook site.  Components hold ``telemetry=None`` by default and guard
@@ -30,6 +33,12 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.telemetry.accounting import (
+    CYCLE_QUANTUM,
+    CpiStack,
+    CycleAccountant,
+    quantize_cycles,
+)
 from repro.telemetry.events import (
     DEFAULT_TRACE_CAPACITY,
     EVENT_PARTITION,
@@ -38,10 +47,13 @@ from repro.telemetry.events import (
     EVENT_SWITCH,
     EVENT_TLB_MISS,
     EVENT_WALK,
+    HOST_EVENT_PREFIX,
+    HOST_PID,
     SYSTEM_CORE,
     EventTracer,
     TraceEvent,
     chrome_trace,
+    host_spans_to_events,
     read_events,
     write_chrome_trace,
 )
@@ -50,7 +62,10 @@ from repro.telemetry.profiling import HostProfiler, ProgressUpdate
 from repro.telemetry.summary import TraceSummary, summarize_events
 
 __all__ = [
+    "CYCLE_QUANTUM",
     "Counter",
+    "CpiStack",
+    "CycleAccountant",
     "DEFAULT_TRACE_CAPACITY",
     "EVENT_PARTITION",
     "EVENT_POM_LOOKUP",
@@ -60,6 +75,8 @@ __all__ = [
     "EVENT_WALK",
     "EventTracer",
     "Gauge",
+    "HOST_EVENT_PREFIX",
+    "HOST_PID",
     "Histogram",
     "HostProfiler",
     "MetricsRegistry",
@@ -69,6 +86,8 @@ __all__ = [
     "TraceEvent",
     "TraceSummary",
     "chrome_trace",
+    "host_spans_to_events",
+    "quantize_cycles",
     "read_events",
     "summarize_events",
     "write_chrome_trace",
@@ -78,22 +97,24 @@ __all__ = [
 class Telemetry:
     """The sink bundle components are wired with.
 
-    Any of the three sinks may be ``None``; hook sites check the sink
+    Any of the four sinks may be ``None``; hook sites check the sink
     they need.  Construct directly for fine control or use
     :meth:`enabled` for the common all-on case.
     """
 
-    __slots__ = ("tracer", "metrics", "profiler")
+    __slots__ = ("tracer", "metrics", "profiler", "accounting")
 
     def __init__(
         self,
         tracer: Optional[EventTracer] = None,
         metrics: Optional[MetricsRegistry] = None,
         profiler: Optional[HostProfiler] = None,
+        accounting: Optional[CycleAccountant] = None,
     ):
         self.tracer = tracer
         self.metrics = metrics
         self.profiler = profiler
+        self.accounting = accounting
 
     @classmethod
     def enabled(
@@ -101,12 +122,14 @@ class Telemetry:
         trace: bool = True,
         metrics: bool = True,
         profile: bool = False,
+        accounting: bool = False,
         trace_capacity: int = DEFAULT_TRACE_CAPACITY,
     ) -> "Telemetry":
         return cls(
             tracer=EventTracer(trace_capacity) if trace else None,
             metrics=MetricsRegistry() if metrics else None,
             profiler=HostProfiler() if profile else None,
+            accounting=CycleAccountant() if accounting else None,
         )
 
     # ------------------------------------------------------------------
@@ -130,3 +153,5 @@ class Telemetry:
             self.metrics.reset()
         if self.profiler is not None:
             self.profiler.reset()
+        if self.accounting is not None:
+            self.accounting.reset()

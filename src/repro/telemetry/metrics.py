@@ -99,7 +99,10 @@ class Histogram:
 
     @property
     def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
+        """Arithmetic mean of recorded samples; 0.0 for an empty histogram."""
+        if not self.count:
+            return 0.0
+        return self.total / self.count
 
     def buckets(self) -> Dict[str, int]:
         """Bucket counts keyed by inclusive upper bound (``"le_2^i"``)."""
@@ -109,7 +112,11 @@ class Histogram:
         }
 
     def percentile(self, fraction: float) -> float:
-        """Approximate percentile: the upper bound of the covering bucket."""
+        """Approximate percentile: the upper bound of the covering bucket.
+
+        An empty histogram returns 0.0 for every fraction (including the
+        extremes) rather than dividing by or indexing into nothing.
+        """
         if not 0.0 <= fraction <= 1.0:
             raise ValueError(f"fraction must be in [0, 1], got {fraction}")
         if not self.count:
@@ -120,7 +127,7 @@ class Histogram:
             seen += self._buckets[index]
             if seen >= target:
                 return float(1 << index)
-        return float(self.max)
+        return float(self.max if self.max is not None else 0.0)
 
     def reset(self) -> None:
         self.count = 0

@@ -9,6 +9,12 @@ nest; the accounted time is *inclusive* (a ``walker`` scope includes the
 simulator composes — the report orders components by share of the
 deepest-common ancestor, so inclusive totals read naturally.
 
+With ``record_spans=True`` the profiler additionally keeps the most
+recent individual scope entries as (name, start, duration) spans —
+``repro run --profile --trace-out`` exports them into the Chrome trace
+as a "host" track so one chrome://tracing view shows simulator events
+and the host code paths that produced them side by side.
+
 :class:`ProgressUpdate` is the payload of the engine's live progress
 callback (``repro run --progress``).
 """
@@ -16,8 +22,12 @@ callback (``repro run --progress``).
 from __future__ import annotations
 
 import time
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, List, Tuple
+
+#: Default cap on retained spans (newest kept); aggregation is unlimited.
+DEFAULT_SPAN_CAPACITY = 20_000
 
 
 class _Scope:
@@ -34,22 +44,50 @@ class _Scope:
         return self
 
     def __exit__(self, *exc_info) -> None:
-        self._profiler._record(self._name, time.perf_counter() - self._start)
+        end = time.perf_counter()
+        self._profiler._record(self._name, end - self._start, self._start)
 
 
 class HostProfiler:
     """Accumulates wall-clock seconds and call counts per named scope."""
 
-    def __init__(self):
+    def __init__(
+        self,
+        record_spans: bool = False,
+        span_capacity: int = DEFAULT_SPAN_CAPACITY,
+    ):
         self._seconds: Dict[str, float] = {}
         self._calls: Dict[str, int] = {}
+        self._spans = deque(maxlen=span_capacity) if record_spans else None
+        self._span_count = 0
+        self._epoch = time.perf_counter()
 
     def scope(self, name: str) -> _Scope:
         return _Scope(self, name)
 
-    def _record(self, name: str, elapsed: float) -> None:
+    def _record(self, name: str, elapsed: float, start: float = 0.0) -> None:
         self._seconds[name] = self._seconds.get(name, 0.0) + elapsed
         self._calls[name] = self._calls.get(name, 0) + 1
+        if self._spans is not None:
+            self._spans.append((name, start - self._epoch, elapsed))
+            self._span_count += 1
+
+    @property
+    def spans(self) -> List[Tuple[str, float, float]]:
+        """Retained (name, start, duration) spans, seconds since reset.
+
+        Empty unless constructed with ``record_spans=True``; only the
+        newest ``span_capacity`` entries are kept (aggregated
+        seconds/calls always cover everything).
+        """
+        return list(self._spans) if self._spans is not None else []
+
+    @property
+    def spans_dropped(self) -> int:
+        """Spans pushed out of the retention window by newer ones."""
+        if self._spans is None:
+            return 0
+        return self._span_count - len(self._spans)
 
     def add(self, name: str, elapsed: float, calls: int = 1) -> None:
         """Record an externally timed region (no scope object needed)."""
@@ -59,6 +97,10 @@ class HostProfiler:
     def reset(self) -> None:
         self._seconds.clear()
         self._calls.clear()
+        if self._spans is not None:
+            self._spans.clear()
+        self._span_count = 0
+        self._epoch = time.perf_counter()
 
     def report(self) -> Dict[str, Dict[str, float]]:
         """``{scope: {"seconds": s, "calls": n, "us_per_call": u}}``."""

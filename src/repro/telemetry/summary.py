@@ -18,6 +18,7 @@ from repro.telemetry.events import (
     EVENT_SWITCH,
     EVENT_TLB_MISS,
     EVENT_WALK,
+    HOST_EVENT_PREFIX,
     SYSTEM_CORE,
     TraceEvent,
 )
@@ -50,6 +51,9 @@ class TraceSummary:
     shootdowns: int = 0
     partition_decisions: int = 0
     final_tlb_fraction: Dict[str, float] = field(default_factory=dict)
+    #: ``host.*`` profiler spans embedded in the trace (wall-clock
+    #: events; excluded from the simulated-cycle statistics above).
+    host_spans: int = 0
 
     @property
     def pom_hit_rate(self) -> float:
@@ -82,7 +86,46 @@ class TraceSummary:
                 "decisions": self.partition_decisions,
                 "final_tlb_fraction": dict(self.final_tlb_fraction),
             },
+            "host_spans": self.host_spans,
         }
+
+    def rows(self) -> List[Tuple[str, object]]:
+        """Flat (metric, value) pairs for table/CSV/markdown rendering."""
+        out: List[Tuple[str, object]] = [("events", self.total_events)]
+        for name in sorted(self.counts_by_name):
+            out.append((f"events.{name}", self.counts_by_name[name]))
+        named_cores = [core for core in self.cores if core != SYSTEM_CORE]
+        if named_cores:
+            out.append(("cores", len(named_cores)))
+        if self.walk_count:
+            out.extend([
+                ("walks", self.walk_count),
+                ("walk_mean_cycles", round(self.walk_mean_cycles, 3)),
+                ("walk_p50_cycles", self.walk_p50_cycles),
+                ("walk_p95_cycles", self.walk_p95_cycles),
+                ("walk_max_cycles", self.walk_max_cycles),
+            ])
+        if self.pom_lookups:
+            out.extend([
+                ("pom_lookups", self.pom_lookups),
+                ("pom_hit_rate", round(self.pom_hit_rate, 4)),
+            ])
+        out.append(("l2_tlb_misses", self.tlb_misses))
+        out.append(("context_switches", self.context_switches))
+        if self.shootdowns:
+            out.append(("shootdowns", self.shootdowns))
+        if self.partition_decisions:
+            out.append(("partition_decisions", self.partition_decisions))
+            for label in sorted(self.final_tlb_fraction):
+                out.append(
+                    (
+                        f"final_tlb_fraction.{label}",
+                        round(self.final_tlb_fraction[label], 4),
+                    )
+                )
+        if self.host_spans:
+            out.append(("host_spans", self.host_spans))
+        return out
 
     def format(self) -> str:
         lines = [f"events            : {self.total_events}"]
@@ -114,6 +157,8 @@ class TraceSummary:
                     f"  {label:<16}: final TLB share "
                     f"{self.final_tlb_fraction[label]:.1%}"
                 )
+        if self.host_spans:
+            lines.append(f"host spans        : {self.host_spans}")
         return "\n".join(lines)
 
 
@@ -125,6 +170,11 @@ def summarize_events(events: List[TraceEvent]) -> TraceSummary:
     last_partition: Dict[str, float] = {}
     span: Dict[int, Tuple[float, float]] = {}
     for event in events:
+        if event.name.startswith(HOST_EVENT_PREFIX):
+            # Wall-clock profiler spans: count them, but keep their
+            # microsecond timestamps out of the cycle statistics.
+            summary.host_spans += 1
+            continue
         start = event.cycles
         end = event.cycles + event.duration
         low, high = span.get(event.core, (start, end))

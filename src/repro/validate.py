@@ -21,6 +21,9 @@ Algorithms 1-3 rely on into mechanical checks:
   of invalid ways;
 * **translation coherence** — every TLB/POM-TLB entry agrees with the
   page tables it was filled from (frame and page size);
+* **cycle-accounting conservation** — when a
+  :class:`~repro.telemetry.accounting.CycleAccountant` is attached, the
+  per-component cycle charges sum *bit-exactly* to each core's clock;
 * **counter monotonicity** — cumulative statistics never decrease
   between consecutive checks.
 
@@ -511,6 +514,42 @@ def counter_snapshot(system: "System") -> Dict[str, float]:
     return snapshot
 
 
+def check_cycle_accounting(system: "System") -> Iterator[InvariantViolation]:
+    """Per-component cycle charges sum *bit-exactly* to each core clock.
+
+    Every increment booked by the :class:`~repro.telemetry.accounting.
+    CycleAccountant` is a dyadic rational (integer latencies; base/MSHR
+    charges quantized to 1/1024 cycle), so double accumulation is exact
+    and the comparison below uses ``!=``, not a tolerance.  Skipped when
+    no accountant is attached or the ledger is unsynced (a checkpoint
+    restore from a snapshot that predates it).
+    """
+    accountant = getattr(system, "accounting", None)
+    if accountant is None or not accountant.synced:
+        return
+    totals = accountant.core_totals()
+    for core in system.cores:
+        charged = totals.get(core.core_id, 0.0)
+        if charged != core.stats.cycles:
+            yield InvariantViolation(
+                f"accounting:core{core.core_id}", "component-sum",
+                f"components sum to {charged!r} but the core clock is "
+                f"{core.stats.cycles!r} (diff {charged - core.stats.cycles!r})",
+                core=core.core_id,
+                charged=charged,
+                cycles=core.stats.cycles,
+            )
+    num_cores = len(system.cores)
+    for core_id in totals:
+        if not 0 <= core_id < num_cores:
+            yield InvariantViolation(
+                "accounting", "unknown-core",
+                f"ledger holds charges for core {core_id}, system has "
+                f"{num_cores} cores",
+                core=core_id,
+            )
+
+
 def check_monotone(
     baseline: Dict[str, float], current: Dict[str, float]
 ) -> Iterator[InvariantViolation]:
@@ -589,6 +628,7 @@ class InvariantChecker:
         if self.scheduler is not None:
             found.extend(check_scheduler(self.scheduler))
         found.extend(check_translation_coherence(system))
+        found.extend(check_cycle_accounting(system))
         current = counter_snapshot(system)
         found.extend(check_monotone(self._baseline, current))
         if not found:

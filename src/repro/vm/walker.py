@@ -209,6 +209,11 @@ class PageWalker:
         self.nested_tlb = NestedTlb(entries=nested_tlb_entries)
         self.walk_kind = walk_kind
         self.stats = WalkerStats()
+        #: Optional :class:`~repro.telemetry.accounting.CycleAccountant`.
+        #: The walker *sets* per-level charging contexts (``walk.l{n}``,
+        #: ``walk.nested.l{n}``) but never restores them — the System
+        #: brackets each walk and puts the caller's context back.
+        self.accountant = None
 
     def register_metrics(self, registry, prefix: str) -> None:
         """Expose walk counters in a telemetry metrics registry."""
@@ -237,9 +242,12 @@ class PageWalker:
         """Figure 2a: a plain radix walk, shortened by PSC hits."""
         latency = 0
         refs = 0
+        acct = self.accountant
         start_level = table.levels
         hit = self.psc.probe(asid, virtual_address)
         latency += self.psc.config.latency
+        if acct is not None:
+            acct.charge("walk.psc", self.psc.config.latency)
         if hit is not None:
             start_level = hit.start_level
         addresses, translation = table.walk_addresses(virtual_address, start_level)
@@ -247,9 +255,13 @@ class PageWalker:
             raise KeyError(
                 f"walk of unmapped address {virtual_address:#x} for {asid}"
             )
+        level = start_level
         for entry_address in addresses:
+            if acct is not None:
+                acct.context(f"walk.l{level}")
             latency += self._access(entry_address, self.walk_kind, False)
             refs += 1
+            level -= 1
         deepest = start_level - len(addresses) + 1
         self.psc.install(asid, virtual_address, deepest)
         self.stats.walks += 1
@@ -266,10 +278,13 @@ class PageWalker:
         """Figure 2b: nested walk with PSC (guest) and nested-TLB (host)."""
         latency = 0
         refs = 0
+        acct = self.accountant
         guest_table = vm.guest_table(asid.process_id)
         start_level = guest_table.levels
         hit = self.psc.probe(asid, virtual_address)
         latency += self.psc.config.latency
+        if acct is not None:
+            acct.charge("walk.psc", self.psc.config.latency)
         if hit is not None:
             start_level = hit.start_level
         entry_addresses, guest_translation = guest_table.walk_addresses(
@@ -281,15 +296,23 @@ class PageWalker:
             )
         # Read each guest node entry; its guest-physical address needs a
         # host-side translation first.
+        level = start_level
         for guest_entry_address in entry_addresses:
+            if acct is not None:
+                acct.context(f"walk.nested.l{level}")
             host_latency, host_refs, host_entry = self._translate_guest_physical(
                 vm, guest_entry_address
             )
             latency += host_latency
             refs += host_refs
+            if acct is not None:
+                acct.context(f"walk.l{level}")
             latency += self._access(host_entry, self.walk_kind, False)
             refs += 1
+            level -= 1
         # Final host walk of the translated guest-physical data address.
+        if acct is not None:
+            acct.context("walk.nested.final")
         guest_physical = guest_translation.physical_address(virtual_address)
         host_latency, host_refs, host_physical = self._translate_guest_physical(
             vm, guest_physical
@@ -324,12 +347,17 @@ class PageWalker:
         Returns (latency, memory references, host physical address).
         """
         guest_frame = guest_physical >> PAGE_4K_BITS
+        acct = self.accountant
         host_frame = self.nested_tlb.get(vm.vm_id, guest_frame)
         if host_frame is not None:
+            if acct is not None:
+                acct.charge_level(".ntlb", self.nested_tlb.latency)
             offset = guest_physical & ((1 << PAGE_4K_BITS) - 1)
             return self.nested_tlb.latency, 0, (host_frame << PAGE_4K_BITS) + offset
         vm.ensure_host_mapped(guest_physical)
         latency = self.nested_tlb.latency
+        if acct is not None:
+            acct.charge_level(".ntlb", self.nested_tlb.latency)
         refs = 0
         addresses, translation = vm.host_table.walk_addresses(guest_physical)
         for entry_address in addresses:

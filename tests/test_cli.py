@@ -282,3 +282,200 @@ class TestRunRobustness:
     def test_replacement_flag_validated(self):
         with pytest.raises(SystemExit):
             main(["run", "--replacement", "fifo"])
+
+
+class TestCpiAndStatsFormats:
+    def run_json(self, tmp_path, scheme="pom-tlb", accesses=3000, capsys=None):
+        """Run once with --cpi --json and persist the document to a file."""
+        code = main([
+            "run", "--mix", "gups", "--scheme", scheme,
+            "--accesses", str(accesses), "--cpi", "--json",
+        ])
+        assert code == 0
+        text = capsys.readouterr().out
+        path = tmp_path / f"{scheme}.json"
+        path.write_text(text)
+        return path, json.loads(text)
+
+    def test_run_cpi_waterfall(self, capsys):
+        code = main([
+            "run", "--mix", "gups", "--scheme", "csalt-cd",
+            "--accesses", "3000", "--cpi",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "CPI stack" in out
+        assert "base" in out
+        assert "total" in out
+
+    def test_run_cpi_json_carries_stack(self, tmp_path, capsys):
+        _, document = self.run_json(tmp_path, capsys=capsys)
+        stack = document["result"]["cpi_stack"]
+        assert stack["scheme"] == "pom-tlb"
+        assert sum(stack["components"].values()) == pytest.approx(
+            stack["total_cycles"]
+        )
+
+    def test_stats_on_result_file(self, tmp_path, capsys):
+        path, _ = self.run_json(tmp_path, capsys=capsys)
+        assert main(["stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out
+        assert main(["stats", str(path), "--cpi"]) == 0
+        assert "CPI stack" in capsys.readouterr().out
+
+    def test_stats_result_formats(self, tmp_path, capsys):
+        path, _ = self.run_json(tmp_path, capsys=capsys)
+        assert main(["stats", str(path), "--format", "csv"]) == 0
+        csv_out = capsys.readouterr().out
+        assert csv_out.splitlines()[0] == "metric,value"
+        assert main(["stats", str(path), "--format", "markdown"]) == 0
+        assert "| metric" in capsys.readouterr().out
+
+    def test_stats_result_rejects_chrome_out(self, tmp_path, capsys):
+        path, _ = self.run_json(tmp_path, capsys=capsys)
+        code = main(["stats", str(path), "--chrome-out", "x.json"])
+        assert code == 2
+        assert "event trace" in capsys.readouterr().err
+
+    def test_stats_trace_rejects_cpi(self, tmp_path, capsys):
+        trace = tmp_path / "run.trace.jsonl"
+        main([
+            "run", "--mix", "gups", "--scheme", "pom-tlb",
+            "--accesses", "2000", "--trace-out", str(trace),
+        ])
+        capsys.readouterr()
+        assert main(["stats", str(trace), "--cpi"]) == 2
+        assert "result JSON" in capsys.readouterr().err
+
+    def test_stats_trace_csv_format(self, tmp_path, capsys):
+        trace = tmp_path / "run.trace.jsonl"
+        main([
+            "run", "--mix", "gups", "--scheme", "pom-tlb",
+            "--accesses", "2000", "--trace-out", str(trace),
+        ])
+        capsys.readouterr()
+        assert main(["stats", str(trace), "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0] == "metric,value"
+        assert any(line.startswith("events,") for line in out.splitlines())
+
+
+class TestDiffCommand:
+    def two_runs(self, tmp_path, capsys):
+        paths = {}
+        for scheme in ("pom-tlb", "csalt-cd"):
+            code = main([
+                "run", "--mix", "gups", "--scheme", scheme,
+                "--accesses", "3000", "--cpi", "--json",
+            ])
+            assert code == 0
+            path = tmp_path / f"{scheme}.json"
+            path.write_text(capsys.readouterr().out)
+            paths[scheme] = path
+        return paths
+
+    def test_diff_two_result_files(self, tmp_path, capsys):
+        paths = self.two_runs(tmp_path, capsys)
+        code = main(["diff", str(paths["pom-tlb"]), str(paths["csalt-cd"])])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "ipc" in out
+        assert "CPI" in out
+
+    def test_diff_json(self, tmp_path, capsys):
+        paths = self.two_runs(tmp_path, capsys)
+        code = main([
+            "diff", str(paths["pom-tlb"]), str(paths["csalt-cd"]), "--json",
+        ])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["speedup"] > 0
+        assert isinstance(document["metrics"], list)
+
+    def test_diff_fail_on_regression(self, tmp_path, capsys):
+        paths = self.two_runs(tmp_path, capsys)
+        # Doctor a copy that is unambiguously slower: doubling every
+        # core's cycle count halves IPC, a guaranteed regression.
+        document = json.loads(paths["pom-tlb"].read_text())
+        for core in document["result"]["per_core"]:
+            core["cycles"] *= 2
+        document["result"].pop("cpi_stack", None)
+        slow = tmp_path / "slow.json"
+        slow.write_text(json.dumps(document))
+        code = main([
+            "diff", str(paths["pom-tlb"]), str(slow),
+            "--fail-on-regression",
+        ])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "<-- regression" in captured.out
+        assert "regression(s)" in captured.err
+
+    def test_diff_bad_input(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{}")
+        assert main(["diff", str(path), str(path)]) == 2
+        assert "diff error" in capsys.readouterr().err
+
+
+class TestBenchCommand:
+    def test_quick_bench_writes_artifact(self, tmp_path, capsys):
+        code = main([
+            "bench", "--quick", "--accesses", "400",
+            "--out-dir", str(tmp_path),
+        ])
+        assert code == 0
+        artifacts = list(tmp_path.glob("BENCH_*.json"))
+        assert len(artifacts) == 1
+        out = capsys.readouterr().out
+        assert "aggregate" in out
+
+    def test_bench_baseline_pass_and_update(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        code = main([
+            "bench", "--quick", "--accesses", "400",
+            "--out-dir", str(tmp_path / "out1"),
+            "--update-baseline", str(baseline),
+        ])
+        assert code == 0
+        assert baseline.exists()
+        capsys.readouterr()
+        # Same machine, same workload: well within a 90% tolerance.
+        code = main([
+            "bench", "--quick", "--accesses", "400",
+            "--out-dir", str(tmp_path / "out2"),
+            "--baseline", str(baseline), "--tolerance", "0.9",
+        ])
+        assert code == 0
+        assert "within" in capsys.readouterr().err
+
+    def test_bench_baseline_regression_fails(self, tmp_path, capsys):
+        baseline = tmp_path / "impossible.json"
+        document = {
+            "schema_version": 1,
+            "quick": True,
+            "points": [],
+            "aggregate_accesses_per_second": 1e12,
+        }
+        baseline.write_text(json.dumps(document))
+        code = main([
+            "bench", "--quick", "--accesses", "400",
+            "--out-dir", str(tmp_path / "out"),
+            "--baseline", str(baseline),
+        ])
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().err
+        # The artifact is still written for CI to upload.
+        assert list((tmp_path / "out").glob("BENCH_*.json"))
+
+    def test_bench_json_output(self, tmp_path, capsys):
+        code = main([
+            "bench", "--quick", "--accesses", "400",
+            "--out-dir", str(tmp_path), "--json",
+        ])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["quick"] is True
+        assert len(document["points"]) == 3

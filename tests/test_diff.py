@@ -1,0 +1,234 @@
+"""Run differencing: input sniffing, delta math, store matching, and
+the figure-7 acceptance property (speedup explained by translation CPI).
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.diff import (
+    DiffError,
+    MetricDelta,
+    diff_paths,
+    diff_results,
+    diff_stores,
+    load_result_file,
+)
+from repro.core.schemes import Scheme
+from repro.experiments import runner
+from repro.experiments.store import ResultStore
+from repro.sim.stats import CoreStats, SimulationResult
+from repro.telemetry.accounting import CpiStack
+
+#: Component groups that make up address translation overhead.
+TRANSLATION_GROUPS = ("tlb", "pom", "tsb", "walk", "translation")
+
+
+def make_result(scheme="pom-tlb", cycles=2000.0, l2_tlb_misses=100,
+                cpi_stack=None):
+    return SimulationResult(
+        scheme=scheme,
+        workload="gups",
+        per_core=[CoreStats(instructions=1000, cycles=cycles,
+                            memory_accesses=400,
+                            l2_tlb_misses=l2_tlb_misses, page_walks=40)],
+        l2_cache_misses=50,
+        l2_cache_accesses=400,
+        l3_cache_misses=30,
+        l3_cache_accesses=50,
+        l3_data_hit_rate=0.5,
+        pom_hits=60,
+        pom_misses=40,
+        walk_mean_cycles=100.0,
+        walk_count=40,
+        cpi_stack=cpi_stack,
+    )
+
+
+class TestLoadResultFile:
+    def test_raw_result_dict(self, tmp_path):
+        path = tmp_path / "raw.json"
+        path.write_text(json.dumps(make_result().to_dict()))
+        assert load_result_file(str(path)).scheme == "pom-tlb"
+
+    def test_run_json_document(self, tmp_path):
+        path = tmp_path / "run.json"
+        path.write_text(json.dumps(
+            {"result": make_result().to_dict(), "elapsed_seconds": 1.0}
+        ))
+        assert load_result_file(str(path)).workload == "gups"
+
+    def test_store_entry(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        signature = {"mix_name": "gups", "scheme": "pom-tlb"}
+        store.save(signature, make_result())
+        entry = next((tmp_path / "store").glob("*.json"))
+        assert load_result_file(str(entry)).scheme == "pom-tlb"
+
+    def test_rejects_non_result(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"hello": "world"}))
+        with pytest.raises(DiffError):
+            load_result_file(str(path))
+
+    def test_rejects_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(DiffError):
+            load_result_file(str(path))
+
+    def test_rejects_missing_file(self, tmp_path):
+        with pytest.raises(DiffError):
+            load_result_file(str(tmp_path / "absent.json"))
+
+
+class TestMetricDelta:
+    def test_improvement_on_higher_is_better(self):
+        delta = MetricDelta("ipc", a=1.0, b=1.2, direction=+1,
+                            tolerance=0.01)
+        assert delta.verdict == "better"
+        assert not delta.regressed
+
+    def test_regression_on_lower_is_better(self):
+        delta = MetricDelta("l2_tlb_mpki", a=10.0, b=12.0, direction=-1,
+                            tolerance=0.01)
+        assert delta.verdict == "worse"
+        assert delta.regressed
+
+    def test_within_tolerance_is_noise(self):
+        delta = MetricDelta("ipc", a=1.0, b=0.995, direction=+1,
+                            tolerance=0.01)
+        assert delta.verdict == "~"
+        assert not delta.regressed
+
+    def test_zero_baseline_no_blowup(self):
+        delta = MetricDelta("pom_hit_rate", a=0.0, b=0.5, direction=+1,
+                            tolerance=0.01)
+        assert delta.relative == 0.0
+
+
+class TestDiffResults:
+    def test_speedup_and_regression_flags(self):
+        slow = make_result(cycles=4000.0)
+        fast = make_result(scheme="csalt-cd", cycles=2000.0)
+        diff = diff_results(slow, fast)
+        assert diff.speedup == pytest.approx(2.0)
+        ipc = next(m for m in diff.metrics if m.name == "ipc")
+        assert ipc.verdict == "better"
+        reverse = diff_results(fast, slow)
+        assert any(m.name == "ipc" for m in reverse.regressions)
+
+    def test_cpi_delta_requires_both_stacks(self):
+        stack = CpiStack(scheme="pom-tlb", instructions=1000,
+                         total_cycles=2000.0, components={"base": 2000.0})
+        with_stack = make_result(cpi_stack=stack)
+        without = make_result()
+        assert diff_results(with_stack, without).cpi_delta == []
+        both = diff_results(with_stack, with_stack)
+        assert both.cpi_delta == [("base", 2.0, 2.0, 0.0)]
+
+    def test_format_mentions_regressions(self):
+        slow = make_result(cycles=4000.0)
+        fast = make_result(scheme="csalt-cd", cycles=2000.0)
+        text = diff_results(fast, slow).format()
+        assert "regression" in text
+        assert "speedup" in text
+
+    def test_to_dict_round_trips_through_json(self):
+        diff = diff_results(make_result(), make_result())
+        assert json.loads(json.dumps(diff.to_dict()))["speedup"] == 1.0
+
+
+class TestDiffStores:
+    def fill(self, root, scheme, cycles):
+        store = ResultStore(root)
+        for mix in ("gups", "ccomp"):
+            signature = runner.point_signature(
+                mix, Scheme(scheme), total_accesses=1000, seed=0
+            )
+            store.save(signature, make_result(scheme=scheme, cycles=cycles))
+        return store
+
+    def test_cross_scheme_matching(self, tmp_path):
+        self.fill(tmp_path / "a", "pom-tlb", cycles=4000.0)
+        self.fill(tmp_path / "b", "csalt-cd", cycles=2000.0)
+        diff = diff_stores(str(tmp_path / "a"), str(tmp_path / "b"))
+        assert len(diff.points) == 2
+        assert diff.only_in_a == 0 and diff.only_in_b == 0
+        for _point, _ipc_a, _ipc_b, speedup in diff.points:
+            assert speedup == pytest.approx(2.0)
+        assert diff.regressions == []
+
+    def test_regression_flagging(self, tmp_path):
+        self.fill(tmp_path / "a", "pom-tlb", cycles=2000.0)
+        self.fill(tmp_path / "b", "pom-tlb", cycles=4000.0)
+        diff = diff_stores(str(tmp_path / "a"), str(tmp_path / "b"))
+        assert len(diff.regressions) == 2
+
+    def test_unmatched_entries_counted(self, tmp_path):
+        self.fill(tmp_path / "a", "pom-tlb", cycles=2000.0)
+        store_b = ResultStore(tmp_path / "b")
+        signature = runner.point_signature(
+            "gups", Scheme.CSALT_CD, total_accesses=1000, seed=0
+        )
+        store_b.save(signature, make_result(scheme="csalt-cd"))
+        diff = diff_stores(str(tmp_path / "a"), str(tmp_path / "b"))
+        assert len(diff.points) == 1
+        assert diff.only_in_a == 1
+        assert diff.only_in_b == 0
+
+
+class TestDiffPaths:
+    def test_mixed_file_and_directory_rejected(self, tmp_path):
+        path = tmp_path / "a.json"
+        path.write_text(json.dumps(make_result().to_dict()))
+        with pytest.raises(DiffError):
+            diff_paths(str(path), str(tmp_path))
+
+    def test_two_files_dispatch_to_run_diff(self, tmp_path):
+        path = tmp_path / "a.json"
+        path.write_text(json.dumps(make_result().to_dict()))
+        diff = diff_paths(str(path), str(path))
+        assert diff.speedup == 1.0
+
+
+class TestFigure7Acceptance:
+    """The PR's acceptance property: diffing the two stored headline
+    points reproduces the speedup as a CPI-stack delta dominated by the
+    translation components."""
+
+    def test_speedup_is_translation_dominated(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        runner.set_store(store)
+        try:
+            base = runner.run_point("gups", Scheme.POM_TLB,
+                                    total_accesses=60_000)
+            csalt = runner.run_point("gups", Scheme.CSALT_CD,
+                                     total_accesses=60_000)
+        finally:
+            runner.set_store(None)
+        # Both points persisted with their cycle ledgers...
+        assert len(store) == 2
+        stored_base = store.load(runner.point_signature(
+            "gups", Scheme.POM_TLB, total_accesses=60_000))
+        stored_csalt = store.load(runner.point_signature(
+            "gups", Scheme.CSALT_CD, total_accesses=60_000))
+        assert stored_base.cpi_stack is not None
+        assert stored_csalt.cpi_stack is not None
+        assert stored_base.cpi_stack == base.cpi_stack
+
+        diff = diff_results(stored_base, stored_csalt)
+        assert diff.speedup > 1.02, "CSALT-CD must beat POM-TLB here"
+        translation = sum(
+            delta for name, _, _, delta in diff.cpi_delta
+            if name.partition(".")[0] in TRANSLATION_GROUPS
+        )
+        other = sum(
+            delta for name, _, _, delta in diff.cpi_delta
+            if name.partition(".")[0] not in TRANSLATION_GROUPS
+        )
+        assert translation < 0, "translation CPI must shrink"
+        assert abs(translation) > 10 * abs(other), (
+            "the speedup must come from translation components, "
+            f"got translation={translation:.3f} other={other:.3f}"
+        )
