@@ -28,6 +28,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.errors import DataError
 from repro.sim.stats import SimulationResult
 from repro.telemetry.accounting import (
     CpiStack,
@@ -55,8 +56,12 @@ METRIC_DIRECTIONS: List[Tuple[str, int]] = [
 DEFAULT_TOLERANCE = 0.01
 
 
-class DiffError(ValueError):
-    """An input could not be parsed as a result or opened as a store."""
+class DiffError(DataError, ValueError):
+    """An input could not be parsed as a result or opened as a store.
+
+    A :class:`~repro.errors.DataError` (exit code 2); still a
+    ``ValueError`` for pre-taxonomy callers.
+    """
 
 
 # ----------------------------------------------------------------------

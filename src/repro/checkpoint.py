@@ -40,6 +40,9 @@ import _thread
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
+from repro import faults
+from repro.errors import SimulationError
+
 #: First line of every checkpoint file.
 MAGIC = b"repro-checkpoint"
 
@@ -56,11 +59,15 @@ _CHECKPOINT_PREFIX = "ckpt-"
 _STALL_PREFIX = "stall-"
 
 
-class CheckpointError(RuntimeError):
-    """A checkpoint could not be written, read, or trusted."""
+class CheckpointError(SimulationError, RuntimeError):
+    """A checkpoint could not be written, read, or trusted.
+
+    Part of the :mod:`repro.errors` taxonomy (exit code 3); still a
+    ``RuntimeError`` for pre-taxonomy callers.
+    """
 
 
-class SimulationStalled(RuntimeError):
+class SimulationStalled(SimulationError, RuntimeError):
     """The watchdog saw the access counter stop advancing.
 
     Carries enough context for the campaign pool and the CLI to report
@@ -108,25 +115,49 @@ def write_checkpoint(
     }
     if meta:
         header.update(meta)
+    # Chaos hooks (no-ops unless a FaultPlan is armed): each lands the
+    # exact artifact the matching host failure would leave behind, so
+    # ``read_checkpoint``'s rejections are exercised honestly.
+    write_payload = payload
+    injector = faults.ACTIVE
+    if injector is not None:
+        if injector.fire("checkpoint.write.torn_payload", path=target.name):
+            write_payload = payload[: len(payload) // 2]
+        if injector.fire("checkpoint.write.flip_checksum", path=target.name):
+            digest = header["sha256"]
+            header["sha256"] = (
+                ("0" if digest[0] != "0" else "1") + digest[1:]
+            )
     header_line = json.dumps(header, sort_keys=True).encode("utf-8")
     target.parent.mkdir(parents=True, exist_ok=True)
     fd, tmp_name = tempfile.mkstemp(
         prefix=target.name + ".", suffix=".tmp", dir=target.parent
     )
     try:
+        if injector is not None and injector.fire(
+            "checkpoint.write.io_error", path=target.name
+        ):
+            os.close(fd)
+            raise OSError(f"injected I/O error writing {target.name}")
         with os.fdopen(fd, "wb") as handle:
             handle.write(MAGIC + b"\n")
             handle.write(header_line + b"\n")
-            handle.write(payload)
+            handle.write(write_payload)
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp_name, target)
     except OSError as exc:
+        raise CheckpointError(f"cannot write checkpoint {target}: {exc}") from exc
+    finally:
+        # One cleanup for every exit path: after a successful replace the
+        # temp name is gone and the unlink is a no-op; on any failure —
+        # including interrupts the old except clause missed — it sweeps
+        # the orphan.  (A crash between mkstemp and here still strands
+        # one; ``repro doctor`` sweeps those.)
         try:
             os.unlink(tmp_name)
         except OSError:
             pass
-        raise CheckpointError(f"cannot write checkpoint {target}: {exc}") from exc
     try:  # make the rename itself durable; best-effort on odd filesystems
         dir_fd = os.open(target.parent, os.O_RDONLY)
         try:
@@ -146,6 +177,11 @@ def read_checkpoint(path: os.PathLike) -> Tuple[object, Dict[str, object]]:
     """
     target = Path(path)
     try:
+        injector = faults.ACTIVE
+        if injector is not None and injector.fire(
+            "checkpoint.read.io_error", path=target.name
+        ):
+            raise OSError(f"injected I/O error reading {target.name}")
         with open(target, "rb") as handle:
             magic = handle.readline().rstrip(b"\n")
             if magic != MAGIC:

@@ -20,6 +20,12 @@ Commands:
                ``BENCH_<timestamp>.json``, and optionally gate against
                a committed baseline;
 * ``report`` — regenerate paper exhibits (all, or a named subset);
+* ``chaos``  — run a campaign under a fault-injection plan and assert
+               the end state converges to the fault-free result
+               (see docs/chaos.md);
+* ``doctor`` — preflight self-check: store integrity, orphaned temp
+               files, checkpoint round-trip, configuration (``--fix``
+               cleans what it safely can);
 * ``mixes``  — list the paper's programs and VM pairings;
 * ``characterize`` — profile workloads' memory behaviour without
                simulating (footprint, page sizes, reuse);
@@ -35,7 +41,9 @@ import sys
 from time import perf_counter
 from typing import List, Optional
 
+from repro import faults
 from repro.core.schemes import Scheme
+from repro.errors import ReproError, exit_code_for
 from repro.sim.config import small_config
 from repro.sim.engine import run_simulation
 from repro.sim.stats import SimulationResult
@@ -221,6 +229,48 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="checkpoint in-flight points every N accesses "
                              "(only with --jobs > 1 and --store; a killed "
                              "worker's retry resumes mid-simulation)")
+
+    chaos = commands.add_parser(
+        "chaos", help="run a campaign under a fault plan and assert the "
+                      "end state (docs/chaos.md)"
+    )
+    chaos.add_argument("--plan", required=True, metavar="PATH",
+                       help="FaultPlan JSON file (points, filters, seeds)")
+    chaos.add_argument("--only", default=None,
+                       help="comma-separated exhibit names whose evaluation "
+                            "grids form the campaign (default: figure8)")
+    chaos.add_argument("--jobs", type=_positive_int, default=2, metavar="N",
+                       help="worker processes (>1 so worker faults are "
+                            "isolated; default 2)")
+    chaos.add_argument("--rounds", type=_positive_int, default=3, metavar="N",
+                       help="max campaign rounds: 1 armed + N-1 fault-free "
+                            "recovery rounds (default 3)")
+    chaos.add_argument("--out", default="chaos-out", metavar="DIR",
+                       help="working directory: baseline-store/, "
+                            "chaos-store/, faults.jsonl")
+    chaos.add_argument("--timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-point timeout (kills hung workers)")
+    chaos.add_argument("--retries", type=int, default=2, metavar="N",
+                       help="retry budget for transient point failures")
+    chaos.add_argument("--json", action="store_true",
+                       help="print the chaos report as JSON")
+
+    doctor = commands.add_parser(
+        "doctor", help="preflight self-check (store, temp files, "
+                       "checkpoints, config)"
+    )
+    doctor.add_argument("--store", default=None, metavar="DIR",
+                        help="result store to scan for corrupt entries and "
+                             "orphaned temp files")
+    doctor.add_argument("--checkpoint-dir", action="append", default=[],
+                        metavar="DIR",
+                        help="checkpoint directory to scan (repeatable)")
+    doctor.add_argument("--fix", action="store_true",
+                        help="delete orphaned temp files and corrupt store "
+                             "entries (they re-simulate on the next run)")
+    doctor.add_argument("--json", action="store_true",
+                        help="print the doctor report as JSON")
 
     commands.add_parser("mixes", help="list programs and VM pairings")
 
@@ -621,6 +671,57 @@ def _command_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_chaos(args: argparse.Namespace) -> int:
+    from repro.experiments.chaos import run_chaos
+
+    plan = faults.FaultPlan.from_file(args.plan)
+    exhibits = None
+    if args.only:
+        exhibits = [name.strip() for name in args.only.split(",")]
+    try:
+        chaos_report = run_chaos(
+            plan,
+            exhibits=exhibits,
+            jobs=args.jobs,
+            rounds=args.rounds,
+            out_dir=args.out,
+            timeout=args.timeout,
+            retries=args.retries,
+            progress=lambda line: print(line, file=sys.stderr),
+        )
+    except KeyboardInterrupt:
+        print("\nchaos campaign interrupted", file=sys.stderr)
+        return 130
+    if args.json:
+        print(json.dumps(chaos_report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(chaos_report.format())
+    chaos_report.raise_if_failed()  # ChaosError -> exit code 4
+    return 0
+
+
+def _command_doctor(args: argparse.Namespace) -> int:
+    from repro.doctor import run_doctor
+
+    doctor_report = run_doctor(
+        store_dir=args.store,
+        checkpoint_dirs=args.checkpoint_dir,
+        fix=args.fix,
+    )
+    if args.json:
+        print(json.dumps(doctor_report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(doctor_report.format())
+    if not doctor_report.ok:
+        from repro.errors import DoctorError
+
+        raise DoctorError(  # -> exit code 5
+            f"{len(doctor_report.problems)} unresolved problem(s)"
+            + ("" if args.fix else "; re-run with --fix to clean up")
+        )
+    return 0
+
+
 def _command_mixes() -> int:
     print("programs:")
     for name in sorted(PROGRAMS):
@@ -681,8 +782,7 @@ def _command_trace(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    args = _build_parser().parse_args(argv)
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "run":
         return _command_run(args)
     if args.command == "stats":
@@ -693,6 +793,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_bench(args)
     if args.command == "report":
         return _command_report(args)
+    if args.command == "chaos":
+        return _command_chaos(args)
+    if args.command == "doctor":
+        return _command_doctor(args)
     if args.command == "mixes":
         return _command_mixes()
     if args.command == "characterize":
@@ -700,6 +804,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "trace":
         return _command_trace(args)
     raise AssertionError(f"unhandled command {args.command}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    # REPRO_FAULT_PLAN lets CI run *any* command under a fault plan
+    # without new flags; a no-op when the variable is unset.
+    faults.arm_from_env()
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        # The taxonomy's contract: each family maps to one stable exit
+        # code (docs/chaos.md), so drivers can assert on failure modes.
+        print(f"{type(exc).__name__}: {exc}", file=sys.stderr)
+        return exit_code_for(exc)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,149 @@
+"""Unified error taxonomy with a stable exit-code mapping.
+
+Every failure the toolkit can report deliberately belongs to one family
+rooted at :class:`ReproError`, and every family maps to one *stable*
+process exit code — the contract CI jobs, campaign drivers and the
+``repro chaos`` end-state assertions test against.  The taxonomy exists
+so that
+
+* blanket ``except Exception`` handlers can be narrowed to "failures we
+  understand" (:class:`ReproError`) while unexpected exception types are
+  logged with full tracebacks instead of being silently swallowed;
+* a fault injected by :mod:`repro.faults` surfaces through exactly the
+  same classes — and therefore exit codes — a real failure would, which
+  is what makes chaos campaigns assertable.
+
+Exit-code table (see ``docs/chaos.md``):
+
+=====  =====================================================
+code   meaning
+=====  =====================================================
+0      success
+1      generic failure / gate failure (strict PARTIAL report,
+       bench or diff regression)
+2      usage, configuration or input-data error
+3      simulation integrity error (invariant violation, stall,
+       checkpoint corruption)
+4      ``repro chaos`` end-state assertion failed
+5      ``repro doctor`` found problems it did not (or could
+       not) fix
+6      an injected fault surfaced uncaught (plan left armed)
+130    interrupted (SIGINT)
+=====  =====================================================
+
+Subclasses raised elsewhere in the tree keep their historical bases
+(``RuntimeError`` / ``ValueError``) through multiple inheritance, so
+pre-taxonomy callers that catch those continue to work unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: The stable exit codes, by name.  ``repro chaos`` and the CI
+#: ``chaos-smoke`` job fail on any exit code not in this table.
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_USAGE = 2
+EXIT_SIMULATION = 3
+EXIT_CHAOS = 4
+EXIT_DOCTOR = 5
+EXIT_INJECTED = 6
+EXIT_INTERRUPT = 130
+
+#: code -> short description, for docs and ``repro chaos`` reporting.
+EXIT_CODES: Dict[int, str] = {
+    EXIT_OK: "success",
+    EXIT_FAILURE: "generic or gate failure",
+    EXIT_USAGE: "usage, configuration or input-data error",
+    EXIT_SIMULATION: "simulation integrity error",
+    EXIT_CHAOS: "chaos end-state assertion failed",
+    EXIT_DOCTOR: "doctor found unresolved problems",
+    EXIT_INJECTED: "injected fault surfaced uncaught",
+    EXIT_INTERRUPT: "interrupted",
+}
+
+
+class ReproError(Exception):
+    """Base of every failure the toolkit understands and maps.
+
+    ``exit_code`` is a class attribute so each family carries its own
+    stable mapping; ``category`` is a short machine-readable label used
+    by telemetry and the campaign failure records.
+    """
+
+    exit_code = EXIT_FAILURE
+    category = "generic"
+
+
+class ConfigError(ReproError, ValueError):
+    """A configuration or argument is invalid (fails before simulating).
+
+    Subclasses ``ValueError`` so historical ``pytest.raises(ValueError)``
+    and ``except ValueError`` call sites keep working.
+    """
+
+    exit_code = EXIT_USAGE
+    category = "config"
+
+
+class DataError(ReproError):
+    """An on-disk input (result file, store, baseline) is unreadable."""
+
+    exit_code = EXIT_USAGE
+    category = "data"
+
+
+class SimulationError(ReproError):
+    """The simulation's own integrity machinery flagged a failure."""
+
+    exit_code = EXIT_SIMULATION
+    category = "simulation"
+
+
+class CampaignError(ReproError):
+    """A campaign-level failure (a poisoned point, an exhausted retry)."""
+
+    exit_code = EXIT_FAILURE
+    category = "campaign"
+
+
+class ChaosError(ReproError):
+    """A ``repro chaos`` end-state assertion did not hold."""
+
+    exit_code = EXIT_CHAOS
+    category = "chaos"
+
+
+class DoctorError(ReproError):
+    """``repro doctor`` found problems that remain unresolved."""
+
+    exit_code = EXIT_DOCTOR
+    category = "doctor"
+
+
+class InjectedFaultError(ReproError):
+    """An error deliberately raised by an armed fault point.
+
+    Fault points that simulate host failures raise the *real* exception
+    type (``OSError`` and friends) so recovery paths are exercised
+    honestly; this class is for faults whose contract is "a deterministic
+    simulation failure" (e.g. ``pool.worker.error``), where the campaign
+    must classify the failure without retrying it.
+    """
+
+    exit_code = EXIT_INJECTED
+    category = "injected"
+
+
+def exit_code_for(exc: BaseException) -> int:
+    """The stable exit code for an exception.
+
+    :class:`ReproError` families carry their own code; interrupts map to
+    130; anything else is a generic failure.
+    """
+    if isinstance(exc, ReproError):
+        return exc.exit_code
+    if isinstance(exc, KeyboardInterrupt):
+        return EXIT_INTERRUPT
+    return EXIT_FAILURE

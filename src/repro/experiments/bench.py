@@ -26,6 +26,7 @@ import time
 from typing import Callable, Dict, List, Optional
 
 from repro.core.schemes import Scheme
+from repro.errors import DataError
 from repro.sim.config import small_config
 from repro.sim.engine import run_simulation
 from repro.telemetry import CycleAccountant, Telemetry
@@ -57,8 +58,12 @@ QUICK_ACCESSES = 8_000
 FULL_ACCESSES = 40_000
 
 
-class BenchError(RuntimeError):
-    """A benchmark document could not be read or compared."""
+class BenchError(DataError, RuntimeError):
+    """A benchmark document could not be read or compared.
+
+    A :class:`~repro.errors.DataError` (exit code 2); still a
+    ``RuntimeError`` for pre-taxonomy callers.
+    """
 
 
 def _point_id(point: Dict[str, object]) -> str:

@@ -28,14 +28,18 @@ collecting it.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import shutil
 import signal
 import threading
 import time
+import traceback
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import faults
+from repro.errors import InjectedFaultError, ReproError
 from repro.experiments import runner
 from repro.experiments.store import ResultStore, signature_key
 from repro.sim.stats import SimulationResult
@@ -128,7 +132,7 @@ def _point_checkpoint_dir(store_root, signature: Signature) -> Path:
 
 
 def _worker_entry(
-    signature: Signature, store_root, conn, checkpoint_every=None
+    signature: Signature, store_root, conn, checkpoint_every=None, attempt=1
 ) -> None:
     """Simulate one point in a child process and ship the result back."""
     try:
@@ -136,6 +140,29 @@ def _worker_entry(
     except ValueError:  # pragma: no cover - non-main thread
         pass
     try:
+        # Chaos hooks (no-ops unless a FaultPlan is armed — workers are
+        # forked, so they inherit the parent's armed injector).  The
+        # ``attempt`` context key lets a plan say "fail the first attempt
+        # only" deterministically, without trigger counters that would
+        # die with the crashing process.
+        injector = faults.ACTIVE
+        context = dict(
+            attempt=attempt,
+            mix_name=signature.get("mix_name"),
+            scheme=signature.get("scheme"),
+        )
+        if injector is not None:
+            spec = injector.fire("pool.worker.crash", **context)
+            if spec:
+                os._exit(int(spec.args.get("exit_code", 17)))
+            spec = injector.fire("pool.worker.hang", **context)
+            if spec:
+                time.sleep(float(spec.args.get("seconds", 3600.0)))
+            if injector.fire("pool.worker.error", **context):
+                raise InjectedFaultError(
+                    f"injected deterministic failure in "
+                    f"{signature.get('mix_name')}/{signature.get('scheme')}"
+                )
         if store_root is not None:
             # Write-through only: the parent already established this
             # point is missing, so reading the store back is pointless.
@@ -155,10 +182,28 @@ def _worker_entry(
         result = runner.run_point(**kwargs)
         if checkpoint_dir is not None:
             shutil.rmtree(checkpoint_dir, ignore_errors=True)
+        if injector is not None and injector.fire(
+            "pool.worker.lost_result", **context
+        ):
+            return  # exit cleanly without shipping: a lost result
         conn.send(("ok", result.to_dict()))
-    except Exception as exc:
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    except ReproError as exc:
+        # An understood, deterministic failure: ship the classification.
         try:
             conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except (OSError, ValueError):  # pragma: no cover - parent gone
+            pass
+    except Exception as exc:
+        # Unexpected type: ship the full traceback instead of swallowing
+        # it into a one-liner — the parent logs it verbatim.
+        try:
+            conn.send((
+                "error",
+                f"unexpected {type(exc).__name__}: {exc}\n"
+                f"{traceback.format_exc()}",
+            ))
         except (OSError, ValueError):  # pragma: no cover - parent gone
             pass
     finally:
@@ -294,9 +339,20 @@ def _run_inline(
         except KeyboardInterrupt:
             latch.count = max(latch.count, 1)
             break
-        except Exception as exc:
+        except ReproError as exc:
+            # A classified failure from the taxonomy: record and move on.
             _record_failure(
                 summary, attempt, f"{type(exc).__name__}: {exc}", note
+            )
+            done += 1
+            continue
+        except Exception as exc:
+            # Unexpected type: still isolate it to this point, but keep
+            # the full traceback in the progress log for diagnosis.
+            note(traceback.format_exc())
+            _record_failure(
+                summary, attempt,
+                f"unexpected {type(exc).__name__}: {exc}", note,
             )
             done += 1
             continue
@@ -332,12 +388,15 @@ def _run_parallel(
 
     def launch(attempt: _Attempt) -> None:
         parent_conn, child_conn = context.Pipe(duplex=False)
+        attempt.attempts += 1
         process = context.Process(
             target=_worker_entry,
-            args=(attempt.signature, store_root, child_conn, checkpoint_every),
+            args=(
+                attempt.signature, store_root, child_conn, checkpoint_every,
+                attempt.attempts,
+            ),
             daemon=True,
         )
-        attempt.attempts += 1
         process.start()
         child_conn.close()
         running.append(

@@ -17,10 +17,12 @@ PARTIAL instead of aborting the campaign.
 from __future__ import annotations
 
 import sys
+import traceback
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.errors import ReproError
 from repro.experiments import ablations, figures, runner
 from repro.experiments.pool import CampaignSummary, run_campaign
 from repro.experiments.runner import (
@@ -173,10 +175,19 @@ def build_report(
             document.statuses[name] = "partial"
             sections.append(_partial_section(name, str(exc)))
             progress(f"{name}: PARTIAL ({exc})")
-        except Exception as exc:  # defense: no exhibit may kill the report
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except ReproError as exc:
+            # A classified failure: degrade the exhibit, keep the report.
             document.statuses[name] = "partial"
             error = f"{type(exc).__name__}: {exc}"
             sections.append(_partial_section(name, error))
+            progress(f"{name}: PARTIAL ({error})")
+        except Exception as exc:  # defense: no exhibit may kill the report
+            document.statuses[name] = "partial"
+            error = f"unexpected {type(exc).__name__}: {exc}"
+            sections.append(_partial_section(name, error))
+            progress(traceback.format_exc())
             progress(f"{name}: PARTIAL ({error})")
         else:
             document.statuses[name] = "ok"

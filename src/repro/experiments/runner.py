@@ -24,6 +24,7 @@ import os
 from typing import Dict, Optional, Tuple
 
 from repro.core.schemes import Scheme
+from repro.errors import CampaignError
 from repro.experiments.store import ResultStore
 from repro.sim.config import SMALL_WORKLOAD_SCALE, SystemConfig, small_config
 from repro.sim.engine import run_simulation
@@ -52,7 +53,7 @@ _store: Optional[ResultStore] = None
 _consult_store: bool = True
 
 
-class PointFailedError(RuntimeError):
+class PointFailedError(CampaignError, RuntimeError):
     """A campaign already failed this point; don't silently re-run it."""
 
 

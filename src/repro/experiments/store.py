@@ -23,6 +23,7 @@ points; rerunning with the same store replays only what is missing.
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
 import os
@@ -31,7 +32,9 @@ import warnings
 from pathlib import Path
 from typing import Dict, Iterator, Mapping, Optional
 
+from repro import faults
 from repro.sim.stats import SimulationResult
+from repro.telemetry.events import EVENT_STORE_SKIP
 
 #: On-disk schema version; bump on incompatible layout changes.
 SCHEMA_VERSION = 1
@@ -61,11 +64,19 @@ def strip_host_fields(result_dict: Dict[str, object]) -> Dict[str, object]:
 
 
 class ResultStore:
-    """Directory of ``<sha256>.json`` result files, one per run signature."""
+    """Directory of ``<sha256>.json`` result files, one per run signature.
 
-    def __init__(self, root: os.PathLike) -> None:
+    ``telemetry`` (optional) makes corruption tolerance observable: every
+    skipped (unreadable/malformed) entry increments the
+    ``store.corrupt_skipped`` counter and emits a ``store.skip`` trace
+    event, so a store quietly degrading to re-simulation shows up in the
+    metrics instead of only in warnings.
+    """
+
+    def __init__(self, root: os.PathLike, telemetry=None) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.telemetry = telemetry
 
     # ------------------------------------------------------------------
     def path_for(self, signature: Mapping[str, object]) -> Path:
@@ -84,22 +95,48 @@ class ResultStore:
             "result": strip_host_fields(result.to_dict()),
         }
         path = self.path_for(signature)
+        # Chaos hooks (no-ops unless a FaultPlan is armed): each mutates
+        # what lands on disk exactly the way the matching host failure
+        # would, so ``load``'s corruption tolerance is exercised honestly.
+        injector = faults.ACTIVE
+        if injector is not None:
+            context = dict(
+                entry=path.name,
+                mix_name=signature.get("mix_name"),
+                scheme=signature.get("scheme"),
+            )
+            if injector.fire("store.save.io_error", **context):
+                raise OSError(
+                    errno.EIO, f"injected I/O error persisting {path.name}"
+                )
+            if injector.fire("store.save.wrong_signature", **context):
+                mutated = dict(document["signature"])
+                mutated["mix_name"] = "__chaos__"
+                document = dict(document, signature=mutated)
+        data = json.dumps(document, sort_keys=True).encode("utf-8")
+        if injector is not None:
+            if injector.fire("store.save.torn_write", **context):
+                data = data[: len(data) // 2]
+            elif injector.fire("store.save.corrupt_byte", **context):
+                data = faults.flip_byte(data)
         handle = tempfile.NamedTemporaryFile(
-            mode="w", dir=self.root, prefix=".tmp-", suffix=".json",
+            mode="wb", dir=self.root, prefix=".tmp-", suffix=".json",
             delete=False,
         )
         try:
             with handle:
-                json.dump(document, handle, sort_keys=True)
+                handle.write(data)
                 handle.flush()
                 os.fsync(handle.fileno())
             os.replace(handle.name, path)
-        except BaseException:
+        finally:
+            # After a successful replace the temp name no longer exists
+            # and the unlink is a no-op; on *any* failure (including an
+            # interrupt between write and replace) it sweeps the orphan.
             try:
                 os.unlink(handle.name)
             except OSError:
                 pass
-            raise
         return path
 
     def load(
@@ -113,16 +150,19 @@ class ResultStore:
         """
         path = self.path_for(signature)
         try:
+            injector = faults.ACTIVE
+            if injector is not None and injector.fire(
+                "store.load.io_error", entry=path.name
+            ):
+                raise OSError(
+                    errno.EIO, f"injected I/O error reading {path.name}"
+                )
             with open(path) as handle:
                 document = json.load(handle)
         except FileNotFoundError:
             return None
         except (OSError, ValueError) as exc:
-            warnings.warn(
-                f"ignoring unreadable store entry {path.name}: {exc}",
-                RuntimeWarning,
-                stacklevel=2,
-            )
+            self._skip(path, "unreadable", exc)
             return None
         try:
             if document.get("schema_version") != SCHEMA_VERSION:
@@ -134,12 +174,23 @@ class ResultStore:
                 raise ValueError("stored signature does not match request")
             return SimulationResult.from_dict(document["result"])
         except (KeyError, TypeError, ValueError) as exc:
-            warnings.warn(
-                f"ignoring malformed store entry {path.name}: {exc}",
-                RuntimeWarning,
-                stacklevel=2,
-            )
+            self._skip(path, "malformed", exc)
             return None
+
+    def _skip(self, path: Path, reason: str, exc: Exception) -> None:
+        """Account one corruption-tolerant miss (warn + count + event)."""
+        warnings.warn(
+            f"ignoring {reason} store entry {path.name}: {exc}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        if self.telemetry is not None:
+            if self.telemetry.metrics is not None:
+                self.telemetry.metrics.counter("store.corrupt_skipped").inc()
+            self.telemetry.emit(
+                EVENT_STORE_SKIP, 0.0, entry=path.name, reason=reason,
+                error=f"{type(exc).__name__}: {exc}",
+            )
 
     # ------------------------------------------------------------------
     def signatures(self) -> Iterator[Dict[str, object]]:

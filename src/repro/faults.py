@@ -1,0 +1,438 @@
+"""Deterministic fault injection: seeded chaos for the robustness layer.
+
+PRs 2–4 built the survival machinery — crash-safe result store, retrying
+worker pool, checksummed checkpoints — but those recovery paths only run
+when the host actually misbehaves.  This module makes failure a
+first-class, *reproducible* input: a declarative :class:`FaultPlan`
+names *fault points* threaded through the I/O and orchestration layers
+and says when each should fire; ``repro chaos`` then runs a campaign
+under the plan and asserts the end state (see
+:mod:`repro.experiments.chaos` and ``docs/chaos.md``).
+
+Design rules:
+
+* **zero overhead unarmed** — every hook site guards with one
+  ``faults.ACTIVE is not None`` check (the same idiom as telemetry), so
+  production runs pay nothing;
+* **deterministic** — each spec draws from its own ``random.Random``
+  seeded from ``(plan.seed, spec index, point name)``; the same plan
+  over the same campaign fires the same faults;
+* **honest failures** — fault points raise the *real* exception type
+  the failure would produce (``OSError``, truncated bytes on disk, a
+  hard ``os._exit``), so the recovery path exercised is exactly the
+  production one;
+* **accounted** — every injected fault is recorded in the injector, in
+  the telemetry event trace / metrics registry (when attached), and in
+  a durable append-only JSONL *fault log* that survives worker crashes
+  (children fork the armed injector and append to the same file).
+
+Fault-point catalogue (``FAULT_POINTS``): see ``docs/chaos.md`` for
+behavior, context keys and the recovery each point exercises.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import random
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigError
+from repro.telemetry.events import EVENT_FAULT
+
+#: Environment knobs: arm any process (CLI entry points call
+#: :func:`arm_from_env`) with a plan file / fault-log path.
+ENV_PLAN = "REPRO_FAULT_PLAN"
+ENV_LOG = "REPRO_FAULT_LOG"
+
+#: Every fault point a plan may reference, with a one-line contract.
+FAULT_POINTS: Dict[str, str] = {
+    "store.save.io_error": (
+        "raise OSError(EIO) while persisting a result (write fails cleanly)"
+    ),
+    "store.save.torn_write": (
+        "persist only the first half of a result entry (torn write that "
+        "still lands via os.replace)"
+    ),
+    "store.save.corrupt_byte": (
+        "flip one byte of a result entry before it lands (bit rot)"
+    ),
+    "store.save.wrong_signature": (
+        "persist the entry under a mutated signature (hash collision / "
+        "hand-edited file)"
+    ),
+    "store.load.io_error": (
+        "raise OSError(EIO) while reading a store entry (transient read "
+        "failure; the loader must degrade to a miss)"
+    ),
+    "checkpoint.write.io_error": (
+        "raise OSError(EIO) mid checkpoint write (previous snapshot must "
+        "survive, temp file must not leak)"
+    ),
+    "checkpoint.write.torn_payload": (
+        "write a checkpoint whose payload is truncated to half (header "
+        "promises more bytes than the file holds)"
+    ),
+    "checkpoint.write.flip_checksum": (
+        "corrupt the checkpoint header's sha256 (reader must reject)"
+    ),
+    "checkpoint.read.io_error": (
+        "raise OSError(EIO) while reading a checkpoint"
+    ),
+    "pool.worker.crash": (
+        "hard-exit the worker process (os._exit) before it simulates — "
+        "an OOM-kill stand-in; the pool must retry"
+    ),
+    "pool.worker.hang": (
+        "sleep inside the worker (args.seconds, default 3600) — the "
+        "pool's per-point timeout must kill and retry it"
+    ),
+    "pool.worker.error": (
+        "raise InjectedFaultError inside the worker — a deterministic "
+        "simulation failure; the pool must fail the point, not retry"
+    ),
+    "pool.worker.lost_result": (
+        "simulate successfully but exit without shipping the result — "
+        "the pool must treat it as a dead worker and retry"
+    ),
+    "trace.record.truncate_thread": (
+        "record a trace with thread 0's address array truncated to half "
+        "(malformed record; the loader must reject it loudly)"
+    ),
+    "trace.load.io_error": (
+        "raise OSError(EIO) while loading a trace file"
+    ),
+}
+
+
+@dataclass
+class FaultSpec:
+    """One arming of one fault point.
+
+    ``when`` filters on the context keys the hook site passes to
+    :meth:`FaultInjector.fire` (e.g. ``{"attempt": 1}`` fires only on a
+    point's first attempt — the deterministic way to express "crash
+    once, then recover" across worker processes whose trigger counters
+    do not survive the crash).  ``after`` skips the first N matching
+    hits; ``max_triggers`` bounds firings (``None`` = unbounded);
+    ``probability`` < 1 samples from the spec's own seeded stream.
+    ``args`` carries mode-specific knobs (e.g. ``seconds`` for
+    ``pool.worker.hang``, ``exit_code`` for ``pool.worker.crash``).
+    """
+
+    point: str
+    probability: float = 1.0
+    max_triggers: Optional[int] = 1
+    after: int = 0
+    when: Dict[str, object] = field(default_factory=dict)
+    args: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.point not in FAULT_POINTS:
+            known = ", ".join(sorted(FAULT_POINTS))
+            raise ConfigError(
+                f"unknown fault point {self.point!r}; known points: {known}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigError(
+                f"{self.point}: probability must be in [0, 1], got "
+                f"{self.probability}"
+            )
+        if self.max_triggers is not None and self.max_triggers < 1:
+            raise ConfigError(
+                f"{self.point}: max_triggers must be positive or null, got "
+                f"{self.max_triggers}"
+            )
+        if self.after < 0:
+            raise ConfigError(
+                f"{self.point}: after cannot be negative, got {self.after}"
+            )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "point": self.point,
+            "probability": self.probability,
+            "max_triggers": self.max_triggers,
+            "after": self.after,
+            "when": dict(self.when),
+            "args": dict(self.args),
+        }
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, object]) -> "FaultSpec":
+        if not isinstance(record, dict):
+            raise ConfigError(f"fault spec must be an object, got {record!r}")
+        unknown = set(record) - {
+            "point", "probability", "max_triggers", "after", "when", "args"
+        }
+        if unknown:
+            raise ConfigError(
+                f"fault spec has unknown field(s): {sorted(unknown)}"
+            )
+        if "point" not in record:
+            raise ConfigError(f"fault spec is missing 'point': {record!r}")
+        return cls(
+            point=str(record["point"]),
+            probability=float(record.get("probability", 1.0)),
+            max_triggers=(
+                None if record.get("max_triggers", 1) is None
+                else int(record.get("max_triggers", 1))
+            ),
+            after=int(record.get("after", 0)),
+            when=dict(record.get("when", {})),
+            args=dict(record.get("args", {})),
+        )
+
+
+@dataclass
+class FaultPlan:
+    """A declarative, JSON-able set of armed fault specs."""
+
+    faults: List[FaultSpec] = field(default_factory=list)
+    seed: int = 0
+    name: str = "unnamed"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "faults": [spec.to_dict() for spec in self.faults],
+        }
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, object]) -> "FaultPlan":
+        if not isinstance(record, dict):
+            raise ConfigError(f"fault plan must be an object, got {record!r}")
+        unknown = set(record) - {"name", "seed", "faults"}
+        if unknown:
+            raise ConfigError(
+                f"fault plan has unknown field(s): {sorted(unknown)}"
+            )
+        faults = record.get("faults", [])
+        if not isinstance(faults, list):
+            raise ConfigError("fault plan 'faults' must be a list")
+        return cls(
+            faults=[FaultSpec.from_dict(spec) for spec in faults],
+            seed=int(record.get("seed", 0)),
+            name=str(record.get("name", "unnamed")),
+        )
+
+    @classmethod
+    def from_file(cls, path) -> "FaultPlan":
+        try:
+            with open(path) as handle:
+                record = json.load(handle)
+        except OSError as exc:
+            raise ConfigError(f"cannot read fault plan {path}: {exc}") from exc
+        except ValueError as exc:
+            raise ConfigError(
+                f"fault plan {path} is not valid JSON: {exc}"
+            ) from exc
+        plan = cls.from_dict(record)
+        if plan.name == "unnamed":
+            plan.name = os.path.basename(str(path))
+        return plan
+
+
+class _SpecState:
+    """Per-spec runtime state: hit/trigger counters + seeded stream."""
+
+    __slots__ = ("spec", "rng", "hits", "triggers")
+
+    def __init__(self, spec: FaultSpec, plan_seed: int, index: int):
+        self.spec = spec
+        tag = f"repro.fault:{plan_seed}:{index}:{spec.point}".encode("utf-8")
+        self.rng = random.Random(
+            int.from_bytes(hashlib.blake2b(tag, digest_size=8).digest(), "big")
+        )
+        self.hits = 0
+        self.triggers = 0
+
+
+class FaultInjector:
+    """Evaluates a :class:`FaultPlan` at every reached fault point.
+
+    ``telemetry`` (optional) receives one :data:`EVENT_FAULT` trace
+    event and a ``faults.<point>`` counter increment per injection.
+    ``log_path`` (optional) appends one JSON line per injection —
+    opened, written and closed per event so the record survives a
+    worker that ``os._exit``\\ s immediately afterwards, and forked
+    children append to the same file.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        telemetry=None,
+        log_path: Optional[str] = None,
+    ):
+        self.plan = plan
+        self.telemetry = telemetry
+        self.log_path = str(log_path) if log_path is not None else None
+        self.records: List[Dict[str, object]] = []
+        self._states: Dict[str, List[_SpecState]] = {}
+        for index, spec in enumerate(plan.faults):
+            self._states.setdefault(spec.point, []).append(
+                _SpecState(spec, plan.seed, index)
+            )
+
+    # ------------------------------------------------------------------
+    def fire(self, point: str, **context: object) -> Optional[FaultSpec]:
+        """Decide whether ``point`` faults now; record it if so.
+
+        Returns the firing :class:`FaultSpec` (the hook site interprets
+        its ``args``) or ``None``.  The first matching spec wins.
+        """
+        states = self._states.get(point)
+        if not states:
+            return None
+        for state in states:
+            spec = state.spec
+            if spec.when and any(
+                context.get(key) != value for key, value in spec.when.items()
+            ):
+                continue
+            state.hits += 1
+            if state.hits <= spec.after:
+                continue
+            if (
+                spec.max_triggers is not None
+                and state.triggers >= spec.max_triggers
+            ):
+                continue
+            if spec.probability < 1.0 and state.rng.random() >= spec.probability:
+                continue
+            state.triggers += 1
+            self._record(point, spec, state.triggers, context)
+            return spec
+        return None
+
+    @property
+    def injected(self) -> int:
+        """Faults injected *in this process* (children count separately;
+        the shared fault log is the cross-process ledger)."""
+        return len(self.records)
+
+    def recent(self, count: int = 16) -> List[Dict[str, object]]:
+        """The last ``count`` injection records (newest last)."""
+        return self.records[-count:]
+
+    # ------------------------------------------------------------------
+    def _record(
+        self,
+        point: str,
+        spec: FaultSpec,
+        trigger: int,
+        context: Dict[str, object],
+    ) -> None:
+        record = {
+            "point": point,
+            "plan": self.plan.name,
+            "trigger": trigger,
+            "pid": os.getpid(),
+            "context": _jsonable(context),
+        }
+        self.records.append(record)
+        if self.telemetry is not None:
+            if self.telemetry.tracer is not None:
+                self.telemetry.emit(
+                    EVENT_FAULT, 0.0, point=point, trigger=trigger,
+                    **_jsonable(context),
+                )
+            if self.telemetry.metrics is not None:
+                self.telemetry.metrics.counter(f"faults.{point}").inc()
+        if self.log_path is not None:
+            try:
+                with open(self.log_path, "a") as handle:
+                    handle.write(
+                        json.dumps(record, sort_keys=True) + "\n"
+                    )
+                    handle.flush()
+            except OSError:
+                pass  # the log is evidence, never a new failure mode
+
+
+def _jsonable(context: Dict[str, object]) -> Dict[str, object]:
+    return {
+        key: (
+            value if isinstance(value, (int, float, str, bool, type(None)))
+            else repr(value)
+        )
+        for key, value in context.items()
+    }
+
+
+def flip_byte(data: bytes, offset: Optional[int] = None) -> bytes:
+    """``data`` with one byte XOR-flipped (defaults to the middle byte)."""
+    if not data:
+        return data
+    index = (len(data) // 2) if offset is None else (offset % len(data))
+    mutated = bytearray(data)
+    mutated[index] ^= 0xFF
+    return bytes(mutated)
+
+
+# ----------------------------------------------------------------------
+# Global arming (hook sites read ``faults.ACTIVE`` — one attribute load)
+# ----------------------------------------------------------------------
+ACTIVE: Optional[FaultInjector] = None
+
+
+def arm(
+    plan: FaultPlan,
+    telemetry=None,
+    log_path: Optional[str] = None,
+) -> FaultInjector:
+    """Arm ``plan`` process-wide and return the live injector.
+
+    Forked worker processes (the campaign pool prefers the fork start
+    method) inherit the armed injector, so worker-side fault points fire
+    under the same plan.
+    """
+    global ACTIVE
+    ACTIVE = FaultInjector(plan, telemetry=telemetry, log_path=log_path)
+    return ACTIVE
+
+
+def disarm() -> Optional[FaultInjector]:
+    """Disarm fault injection; returns the injector that was active."""
+    global ACTIVE
+    previous, ACTIVE = ACTIVE, None
+    return previous
+
+
+def get_active() -> Optional[FaultInjector]:
+    return ACTIVE
+
+
+@contextmanager
+def armed(plan: FaultPlan, telemetry=None, log_path: Optional[str] = None):
+    """``with faults.armed(plan): ...`` — scoped arming for tests."""
+    injector = arm(plan, telemetry=telemetry, log_path=log_path)
+    try:
+        yield injector
+    finally:
+        disarm()
+
+
+def arm_from_env(telemetry=None) -> Optional[FaultInjector]:
+    """Arm from ``REPRO_FAULT_PLAN`` (a plan file path) if set.
+
+    ``REPRO_FAULT_LOG`` names the fault log.  Lets any entry point —
+    including CI driving the plain ``repro report`` CLI — run under a
+    plan without new flags.  No-op (returns the current injector, maybe
+    ``None``) when the variable is unset or something is already armed.
+    """
+    if ACTIVE is not None:
+        return ACTIVE
+    plan_path = os.environ.get(ENV_PLAN)
+    if not plan_path:
+        return None
+    return arm(
+        FaultPlan.from_file(plan_path),
+        telemetry=telemetry,
+        log_path=os.environ.get(ENV_LOG),
+    )

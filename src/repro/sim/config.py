@@ -13,6 +13,7 @@ from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.core.partitioning import DEFAULT_EPOCH_ACCESSES, N_MIN
+from repro.errors import ConfigError
 from repro.core.schemes import PartitionMode, Scheme
 from repro.vm.mmu_cache import PscConfig
 
@@ -106,44 +107,44 @@ class SystemConfig:
         the bad grid axis without a traceback spelunk.
         """
         if self.cores < 1:
-            raise ValueError(f"cores: need at least one core, got {self.cores}")
+            raise ConfigError(f"cores: need at least one core, got {self.cores}")
         if self.contexts_per_core < 1:
-            raise ValueError(
+            raise ConfigError(
                 f"contexts_per_core: need at least one context per core, "
                 f"got {self.contexts_per_core}"
             )
         if self.time_scale <= 0:
-            raise ValueError(
+            raise ConfigError(
                 f"time_scale: must be positive, got {self.time_scale}"
             )
         if self.switch_interval_ms <= 0:
-            raise ValueError(
+            raise ConfigError(
                 f"switch_interval_ms: must be positive, got "
                 f"{self.switch_interval_ms}"
             )
         if self.page_table_levels not in (4, 5):
-            raise ValueError(
+            raise ConfigError(
                 f"page_table_levels: must be 4 or 5, got "
                 f"{self.page_table_levels}"
             )
         if not 0 <= self.nonmem_per_mem:
-            raise ValueError("nonmem_per_mem: cannot be negative")
+            raise ConfigError("nonmem_per_mem: cannot be negative")
         if self.base_cpi <= 0:
-            raise ValueError(f"base_cpi: must be positive, got {self.base_cpi}")
+            raise ConfigError(f"base_cpi: must be positive, got {self.base_cpi}")
         if self.checkpoint_every is not None and self.checkpoint_every <= 0:
-            raise ValueError(
+            raise ConfigError(
                 f"checkpoint_every: interval must be positive, got "
                 f"{self.checkpoint_every}"
             )
         if self.check_invariants is not None and self.check_invariants <= 0:
-            raise ValueError(
+            raise ConfigError(
                 f"check_invariants: interval must be positive, got "
                 f"{self.check_invariants}"
             )
         if self.replacement == "plru":
             for field_name, cache in (("l2", self.l2), ("l3", self.l3)):
                 if cache.ways & (cache.ways - 1):
-                    raise ValueError(
+                    raise ConfigError(
                         f"{field_name}.ways: tree-PLRU needs a power-of-two "
                         f"associativity, got {cache.ways}"
                     )
@@ -152,13 +153,13 @@ class SystemConfig:
             # must be able to hold their minimum simultaneously.
             for field_name, cache in (("l2", self.l2), ("l3", self.l3)):
                 if cache.ways < 2 * N_MIN:
-                    raise ValueError(
+                    raise ConfigError(
                         f"{field_name}.ways: partitioning needs at least "
                         f"{2 * N_MIN} ways (N_MIN={N_MIN} per stream), got "
                         f"{cache.ways}"
                     )
             if self.static_data_ways is not None and self.static_data_ways < N_MIN:
-                raise ValueError(
+                raise ConfigError(
                     f"static_data_ways: must be at least N_MIN={N_MIN}, got "
                     f"{self.static_data_ways}"
                 )
@@ -168,7 +169,7 @@ class SystemConfig:
             ("tlb.l2_entries", self.tlb.l2_entries, self.tlb.l2_ways),
         ):
             if entries % ways:
-                raise ValueError(
+                raise ConfigError(
                     f"{field_name}: {entries} entries not divisible into "
                     f"{ways} ways"
                 )

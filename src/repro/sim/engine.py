@@ -29,6 +29,8 @@ from itertools import islice
 from pathlib import Path
 from typing import Callable, List, Optional, Union
 
+from repro import faults
+from repro.errors import ConfigError
 from repro.checkpoint import (
     CheckpointError,
     CheckpointWriter,
@@ -184,26 +186,26 @@ def run_simulation(
       :class:`~repro.checkpoint.SimulationStalled` raised.
     """
     if len(workloads) != config.num_vms:
-        raise ValueError(
+        raise ConfigError(
             f"config expects {config.num_vms} VM workloads, got {len(workloads)}"
         )
     if total_accesses < 1:
-        raise ValueError("total_accesses must be positive")
+        raise ConfigError("total_accesses must be positive")
     if not 0.0 <= warmup_fraction < 1.0:
-        raise ValueError("warmup_fraction must be in [0, 1)")
+        raise ConfigError("warmup_fraction must be in [0, 1)")
     if checkpoint_every is None:
         checkpoint_every = config.checkpoint_every
     if check_invariants is None:
         check_invariants = config.check_invariants
     if checkpoint_every is not None:
         if checkpoint_every < 1:
-            raise ValueError("checkpoint_every must be positive")
+            raise ConfigError("checkpoint_every must be positive")
         if checkpoint_dir is None:
-            raise ValueError("checkpoint_every requires checkpoint_dir")
+            raise ConfigError("checkpoint_every requires checkpoint_dir")
     if check_invariants is not None and check_invariants < 1:
-        raise ValueError("check_invariants must be positive")
+        raise ConfigError("check_invariants must be positive")
     if restore == "auto" and checkpoint_dir is None:
-        raise ValueError('restore="auto" requires checkpoint_dir')
+        raise ConfigError('restore="auto" requires checkpoint_dir')
 
     system = System(config, telemetry=telemetry)
     if system_setup is not None:
@@ -391,7 +393,16 @@ def run_simulation(
             # We are back on the sole simulating thread, so the state is
             # consistent *between* accesses at worst mid-batch; the stall
             # header marks it as a post-mortem artifact, not a resume point.
-            snapshot_path = str(writer.write_stall(executed, snapshot_document()))
+            stall_document = snapshot_document()
+            injector = faults.ACTIVE
+            if injector is not None:
+                # A stall under chaos usually IS the chaos: embed the armed
+                # plan and the most recent injections in the post-mortem.
+                stall_document["chaos"] = {
+                    "fault_plan": injector.plan.to_dict(),
+                    "recent_faults": injector.recent(16),
+                }
+            snapshot_path = str(writer.write_stall(executed, stall_document))
         if telemetry is not None:
             telemetry.emit(
                 EVENT_WATCHDOG_TRIP,

@@ -41,9 +41,11 @@ from repro.telemetry.accounting import (
 )
 from repro.telemetry.events import (
     DEFAULT_TRACE_CAPACITY,
+    EVENT_FAULT,
     EVENT_PARTITION,
     EVENT_POM_LOOKUP,
     EVENT_SHOOTDOWN,
+    EVENT_STORE_SKIP,
     EVENT_SWITCH,
     EVENT_TLB_MISS,
     EVENT_WALK,
@@ -67,9 +69,11 @@ __all__ = [
     "CpiStack",
     "CycleAccountant",
     "DEFAULT_TRACE_CAPACITY",
+    "EVENT_FAULT",
     "EVENT_PARTITION",
     "EVENT_POM_LOOKUP",
     "EVENT_SHOOTDOWN",
+    "EVENT_STORE_SKIP",
     "EVENT_SWITCH",
     "EVENT_TLB_MISS",
     "EVENT_WALK",

@@ -41,6 +41,8 @@ EVENT_CHECKPOINT = "checkpoint.write"
 EVENT_RESTORE = "checkpoint.restore"
 EVENT_INVARIANT_CHECK = "validate.check"
 EVENT_WATCHDOG_TRIP = "watchdog.trip"
+EVENT_FAULT = "fault.injected"
+EVENT_STORE_SKIP = "store.skip"
 
 #: Core id used for events not attributable to a single core.
 SYSTEM_CORE = -1

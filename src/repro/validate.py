@@ -40,6 +40,7 @@ import math
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
 
 from repro.core.partitioning import N_MIN, PartitionController
+from repro.errors import SimulationError
 from repro.mem.cache import Cache, _INVALID
 from repro.mem.dram import DramChannel
 from repro.mem.mshr import MshrModel
@@ -58,7 +59,7 @@ if TYPE_CHECKING:
 POM_COHERENCE_LIMIT = 2048
 
 
-class InvariantViolation(RuntimeError):
+class InvariantViolation(SimulationError, RuntimeError):
     """A structural invariant does not hold.
 
     Structured so tooling can classify it: ``component`` names the

@@ -18,6 +18,7 @@ writing the same npz layout (`thread<N>_addresses`, `thread<N>_writes`).
 
 from __future__ import annotations
 
+import errno
 import itertools
 import pathlib
 from dataclasses import dataclass
@@ -25,11 +26,21 @@ from typing import Dict, Union
 
 import numpy as np
 
+from repro import faults
+from repro.errors import DataError
 from repro.workloads.base import AccessStream, Workload
 
 PathLike = Union[str, pathlib.Path]
 
 _FORMAT_VERSION = 1
+
+
+class TraceFormatError(DataError, ValueError):
+    """A trace file is structurally invalid (version, keys, lengths).
+
+    A :class:`~repro.errors.DataError` (exit code 2); still a
+    ``ValueError`` for pre-taxonomy callers.
+    """
 
 
 def record_trace(
@@ -57,6 +68,15 @@ def record_trace(
             np.array([flag for _, flag in pairs], dtype=bool)
         )
         arrays[f"thread{thread}_length"] = np.array([len(pairs)])
+    # Chaos hook (no-op unless a FaultPlan is armed): drop the back half
+    # of thread 0's address stream without touching its recorded length,
+    # producing exactly the inconsistency ``load_trace`` must reject.
+    injector = faults.ACTIVE
+    if injector is not None and injector.fire(
+        "trace.record.truncate_thread", path=str(path)
+    ):
+        truncated = arrays["thread0_addresses"]
+        arrays["thread0_addresses"] = truncated[: max(1, len(truncated) // 2)]
     np.savez_compressed(str(path), **arrays)
 
 
@@ -71,14 +91,50 @@ class TraceInfo:
 
 
 def load_trace(path: PathLike) -> Dict[str, np.ndarray]:
-    """Load and validate a trace file's raw arrays."""
+    """Load and validate a trace file's raw arrays.
+
+    Raises :class:`TraceFormatError` on a wrong version, missing arrays,
+    or a per-thread length field that disagrees with the stored data —
+    the failure modes of a torn or hand-mangled trace file.
+    """
+    injector = faults.ACTIVE
+    if injector is not None and injector.fire(
+        "trace.load.io_error", path=str(path)
+    ):
+        raise OSError(errno.EIO, f"injected I/O error reading {path}")
     data = dict(np.load(str(path)))
     version = int(data.get("version", [0])[0])
     if version != _FORMAT_VERSION:
-        raise ValueError(
+        raise TraceFormatError(
             f"{path}: unsupported trace version {version} "
             f"(expected {_FORMAT_VERSION})"
         )
+    for key in ("num_threads", "huge_va_limit"):
+        if key not in data:
+            raise TraceFormatError(f"{path}: missing required array {key!r}")
+    num_threads = int(data["num_threads"][0])
+    for thread in range(num_threads):
+        missing = [
+            key
+            for key in (
+                f"thread{thread}_addresses",
+                f"thread{thread}_writes",
+                f"thread{thread}_length",
+            )
+            if key not in data
+        ]
+        if missing:
+            raise TraceFormatError(
+                f"{path}: missing arrays for thread {thread}: "
+                f"{', '.join(missing)}"
+            )
+        length = int(data[f"thread{thread}_length"][0])
+        stored = len(data[f"thread{thread}_addresses"])
+        if stored != length:
+            raise TraceFormatError(
+                f"{path}: thread {thread} stores {stored} addresses but "
+                f"declares length {length} (truncated trace?)"
+            )
     return data
 
 

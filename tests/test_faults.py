@@ -1,0 +1,327 @@
+"""Fault injection: plan parsing, determinism, and every hook site."""
+
+import json
+
+import pytest
+
+from repro import faults
+from repro.checkpoint import (
+    CheckpointError,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.core.schemes import Scheme
+from repro.errors import ConfigError
+from repro.experiments import runner
+from repro.experiments.pool import run_campaign
+from repro.experiments.store import ResultStore
+from repro.telemetry import EventTracer, MetricsRegistry, Telemetry
+from repro.telemetry.events import EVENT_FAULT
+from repro.workloads.mixes import make_program
+from repro.workloads.trace import TraceFormatError, load_trace, record_trace
+
+TINY = dict(total_accesses=1_500)
+
+
+@pytest.fixture(autouse=True)
+def fresh_state():
+    faults.disarm()
+    runner.clear_cache()
+    runner.set_store(None)
+    yield
+    faults.disarm()
+    runner.clear_cache()
+    runner.set_store(None)
+
+
+def plan_for(point, **spec_fields):
+    return faults.FaultPlan(
+        faults=[faults.FaultSpec(point=point, **spec_fields)],
+        seed=3, name="test",
+    )
+
+
+# ----------------------------------------------------------------------
+class TestPlanParsing:
+    def test_round_trip(self):
+        plan = plan_for("store.save.torn_write", when={"mix_name": "gups"})
+        clone = faults.FaultPlan.from_dict(plan.to_dict())
+        assert clone.to_dict() == plan.to_dict()
+
+    def test_unknown_point_rejected(self):
+        with pytest.raises(ConfigError, match="unknown fault point"):
+            faults.FaultSpec(point="store.save.nope")
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigError, match="unknown field"):
+            faults.FaultSpec.from_dict({"point": "pool.worker.crash",
+                                        "wen": {}})
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ConfigError, match="probability"):
+            faults.FaultSpec(point="pool.worker.crash", probability=1.5)
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(
+            {"seed": 9, "faults": [{"point": "pool.worker.crash"}]}
+        ))
+        plan = faults.FaultPlan.from_file(path)
+        assert plan.seed == 9
+        assert plan.faults[0].point == "pool.worker.crash"
+        assert plan.name == "plan.json"  # falls back to the filename
+
+    def test_unreadable_file_is_config_error(self, tmp_path):
+        with pytest.raises(ConfigError, match="cannot read"):
+            faults.FaultPlan.from_file(tmp_path / "missing.json")
+
+
+class TestInjectorSemantics:
+    def test_unarmed_is_inert(self):
+        assert faults.ACTIVE is None
+        assert faults.get_active() is None
+
+    def test_armed_context_manager_restores(self):
+        with faults.armed(plan_for("pool.worker.crash")) as injector:
+            assert faults.ACTIVE is injector
+        assert faults.ACTIVE is None
+
+    def test_max_triggers_bounds_firing(self):
+        injector = faults.FaultInjector(
+            plan_for("pool.worker.crash", max_triggers=2)
+        )
+        fired = [injector.fire("pool.worker.crash") for _ in range(5)]
+        assert [spec is not None for spec in fired] == [
+            True, True, False, False, False
+        ]
+
+    def test_after_skips_first_hits(self):
+        injector = faults.FaultInjector(
+            plan_for("pool.worker.crash", after=2, max_triggers=None)
+        )
+        fired = [injector.fire("pool.worker.crash") for _ in range(4)]
+        assert [spec is not None for spec in fired] == [
+            False, False, True, True
+        ]
+
+    def test_when_filters_on_context(self):
+        injector = faults.FaultInjector(
+            plan_for("pool.worker.crash", when={"attempt": 1})
+        )
+        assert injector.fire("pool.worker.crash", attempt=2) is None
+        assert injector.fire("pool.worker.crash", attempt=1) is not None
+
+    def test_probability_stream_is_deterministic(self):
+        def pattern():
+            injector = faults.FaultInjector(
+                plan_for("pool.worker.crash", probability=0.5,
+                         max_triggers=None)
+            )
+            return [
+                injector.fire("pool.worker.crash") is not None
+                for _ in range(32)
+            ]
+
+        first, second = pattern(), pattern()
+        assert first == second
+        assert any(first) and not all(first)  # actually samples
+
+    def test_fault_log_appends_jsonl(self, tmp_path):
+        log = tmp_path / "faults.jsonl"
+        injector = faults.FaultInjector(
+            plan_for("pool.worker.crash", max_triggers=2), log_path=str(log)
+        )
+        injector.fire("pool.worker.crash", attempt=1)
+        injector.fire("pool.worker.crash", attempt=2)
+        lines = [json.loads(line) for line in log.read_text().splitlines()]
+        assert len(lines) == 2
+        assert lines[0]["point"] == "pool.worker.crash"
+        assert lines[1]["trigger"] == 2
+        assert lines[0]["context"]["attempt"] == 1
+
+    def test_telemetry_event_and_counter(self):
+        telemetry = Telemetry(tracer=EventTracer(), metrics=MetricsRegistry())
+        injector = faults.FaultInjector(
+            plan_for("pool.worker.crash"), telemetry=telemetry
+        )
+        injector.fire("pool.worker.crash", attempt=1)
+        events = [e for e in telemetry.tracer if e.name == EVENT_FAULT]
+        assert len(events) == 1
+        counter = telemetry.metrics.get("faults.pool.worker.crash")
+        assert counter is not None and counter.value == 1
+        assert injector.injected == 1
+        assert injector.recent()[0]["point"] == "pool.worker.crash"
+
+    def test_flip_byte_changes_exactly_one_byte(self):
+        data = b"0123456789"
+        flipped = faults.flip_byte(data)
+        assert len(flipped) == len(data)
+        assert sum(a != b for a, b in zip(data, flipped)) == 1
+
+    def test_arm_from_env(self, tmp_path, monkeypatch):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(
+            {"faults": [{"point": "pool.worker.crash"}]}
+        ))
+        monkeypatch.setenv(faults.ENV_PLAN, str(path))
+        injector = faults.arm_from_env()
+        assert injector is not None
+        assert faults.ACTIVE is injector
+
+
+# ----------------------------------------------------------------------
+class TestStoreFaultPoints:
+    def _saved(self, tmp_path, plan):
+        store = ResultStore(tmp_path)
+        signature = runner.point_signature("gups", Scheme.POM_TLB, **TINY)
+        result = runner.run_point("gups", Scheme.POM_TLB, **TINY)
+        with faults.armed(plan):
+            path = store.save(signature, result)
+        return store, signature, path
+
+    def test_torn_write_loads_as_miss(self, tmp_path):
+        store, signature, path = self._saved(
+            tmp_path, plan_for("store.save.torn_write")
+        )
+        assert path.exists()
+        with pytest.warns(RuntimeWarning, match="unreadable"):
+            assert store.load(signature) is None
+
+    def test_corrupt_byte_loads_as_miss(self, tmp_path):
+        store, signature, _ = self._saved(
+            tmp_path, plan_for("store.save.corrupt_byte")
+        )
+        with pytest.warns(RuntimeWarning):
+            assert store.load(signature) is None
+
+    def test_wrong_signature_loads_as_miss(self, tmp_path):
+        store, signature, _ = self._saved(
+            tmp_path, plan_for("store.save.wrong_signature")
+        )
+        with pytest.warns(RuntimeWarning, match="malformed"):
+            assert store.load(signature) is None
+
+    def test_save_io_error_raises_oserror(self, tmp_path):
+        store = ResultStore(tmp_path)
+        signature = runner.point_signature("gups", Scheme.POM_TLB, **TINY)
+        result = runner.run_point("gups", Scheme.POM_TLB, **TINY)
+        with faults.armed(plan_for("store.save.io_error")):
+            with pytest.raises(OSError, match="injected"):
+                store.save(signature, result)
+        assert not list(tmp_path.glob(".tmp-*"))  # no orphan either way
+
+    def test_load_io_error_degrades_to_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        signature = runner.point_signature("gups", Scheme.POM_TLB, **TINY)
+        result = runner.run_point("gups", Scheme.POM_TLB, **TINY)
+        store.save(signature, result)
+        with faults.armed(plan_for("store.load.io_error")):
+            with pytest.warns(RuntimeWarning, match="unreadable"):
+                assert store.load(signature) is None
+        assert store.load(signature) is not None  # disarmed: entry is fine
+
+
+class TestCheckpointFaultPoints:
+    def test_torn_payload_rejected_on_read(self, tmp_path):
+        path = tmp_path / "snap.ckpt"
+        with faults.armed(plan_for("checkpoint.write.torn_payload")):
+            write_checkpoint(path, {"state": list(range(64))})
+        with pytest.raises(CheckpointError, match="truncated"):
+            read_checkpoint(path)
+
+    def test_flipped_checksum_rejected_on_read(self, tmp_path):
+        path = tmp_path / "snap.ckpt"
+        with faults.armed(plan_for("checkpoint.write.flip_checksum")):
+            write_checkpoint(path, {"state": list(range(64))})
+        with pytest.raises(CheckpointError, match="checksum"):
+            read_checkpoint(path)
+
+    def test_write_io_error_keeps_previous_and_no_tmp(self, tmp_path):
+        path = tmp_path / "snap.ckpt"
+        write_checkpoint(path, {"generation": 1})
+        with faults.armed(plan_for("checkpoint.write.io_error")):
+            with pytest.raises(CheckpointError, match="injected"):
+                write_checkpoint(path, {"generation": 2})
+        assert not list(tmp_path.glob("*.tmp"))  # single-finally cleanup
+        document, _ = read_checkpoint(path)
+        assert document == {"generation": 1}  # old snapshot survives
+
+    def test_read_io_error_wrapped(self, tmp_path):
+        path = tmp_path / "snap.ckpt"
+        write_checkpoint(path, {"generation": 1})
+        with faults.armed(plan_for("checkpoint.read.io_error")):
+            with pytest.raises(CheckpointError, match="injected"):
+                read_checkpoint(path)
+
+
+class TestTraceFaultPoints:
+    def test_truncated_record_rejected_by_loader(self, tmp_path):
+        path = tmp_path / "trace.npz"
+        workload = make_program("gups", scale=0.25)
+        with faults.armed(plan_for("trace.record.truncate_thread")):
+            record_trace(workload, path, accesses_per_thread=64,
+                         num_threads=2)
+        with pytest.raises(TraceFormatError, match="truncated"):
+            load_trace(path)
+
+    def test_load_io_error(self, tmp_path):
+        path = tmp_path / "trace.npz"
+        record_trace(make_program("gups", scale=0.25), path,
+                     accesses_per_thread=64, num_threads=2)
+        with faults.armed(plan_for("trace.load.io_error")):
+            with pytest.raises(OSError, match="injected"):
+                load_trace(path)
+        assert load_trace(path)  # disarmed: the file itself is fine
+
+
+# ----------------------------------------------------------------------
+class TestPoolFaultPoints:
+    def grid(self):
+        return [runner.point_signature("gups", Scheme.POM_TLB, **TINY)]
+
+    def test_worker_crash_retried_to_success(self, tmp_path):
+        store = ResultStore(tmp_path)
+        plan = plan_for("pool.worker.crash", when={"attempt": 1})
+        with faults.armed(plan):
+            summary = run_campaign(
+                self.grid(), jobs=2, store=store, retries=2,
+            )
+        assert summary.ok
+        assert summary.simulated == 1
+        assert len(store) == 1
+
+    def test_worker_lost_result_retried(self, tmp_path):
+        store = ResultStore(tmp_path)
+        plan = plan_for("pool.worker.lost_result", when={"attempt": 1})
+        with faults.armed(plan):
+            summary = run_campaign(
+                self.grid(), jobs=2, store=store, retries=2,
+            )
+        assert summary.ok
+        # The first worker simulated and persisted before "dying", so the
+        # retry restores from the store or re-simulates; either way the
+        # point completes.
+        assert len(store) == 1
+
+    def test_worker_error_fails_point_without_retry(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with faults.armed(plan_for("pool.worker.error")):
+            summary = run_campaign(
+                self.grid(), jobs=2, store=store, retries=2,
+            )
+        assert not summary.ok
+        assert summary.failures[0].attempts == 1  # deterministic: no retry
+        assert "InjectedFaultError" in summary.failures[0].error
+
+    def test_worker_hang_killed_by_timeout(self, tmp_path):
+        store = ResultStore(tmp_path)
+        plan = plan_for(
+            "pool.worker.hang", when={"attempt": 1}, args={"seconds": 30},
+        )
+        with faults.armed(plan):
+            summary = run_campaign(
+                self.grid(), jobs=2, store=store, retries=2, timeout=1.0,
+                backoff=0.05,
+            )
+        assert summary.ok
+        assert summary.simulated == 1

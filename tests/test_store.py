@@ -12,6 +12,8 @@ from repro.experiments.store import (
     strip_host_fields,
 )
 from repro.sim.stats import SimulationResult
+from repro.telemetry import EventTracer, MetricsRegistry, Telemetry
+from repro.telemetry.events import EVENT_STORE_SKIP
 
 TINY = dict(total_accesses=1_500)
 
@@ -133,6 +135,69 @@ class TestRobustness:
         signature, result = tiny_point()
         store.save(signature, result)
         assert list(store.signatures()) == [dict(signature)]
+
+
+class TestCorruptionClasses:
+    """Every corruption class tolerated as a miss, and each skip counted
+    in telemetry (``store.corrupt_skipped`` + a ``store.skip`` event)."""
+
+    def _store(self, tmp_path):
+        telemetry = Telemetry(tracer=EventTracer(), metrics=MetricsRegistry())
+        store = ResultStore(tmp_path, telemetry=telemetry)
+        signature, result = tiny_point()
+        path = store.save(signature, result)
+        return store, signature, path, telemetry
+
+    def _skipped(self, telemetry):
+        counter = telemetry.metrics.get("store.corrupt_skipped")
+        return counter.value if counter is not None else 0
+
+    def corrupt(self, path, how):
+        if how == "truncated-json":
+            path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        elif how == "flipped-byte":
+            data = bytearray(path.read_bytes())
+            data[len(data) // 2] ^= 0xFF
+            path.write_bytes(bytes(data))
+        elif how == "empty-file":
+            path.write_bytes(b"")
+        elif how == "wrong-signature":
+            document = json.loads(path.read_text())
+            document["signature"]["seed"] = 4242
+            path.write_text(json.dumps(document))
+        else:  # pragma: no cover - test bug
+            raise AssertionError(how)
+
+    @pytest.mark.parametrize(
+        "how", ["truncated-json", "flipped-byte", "empty-file",
+                "wrong-signature"]
+    )
+    def test_each_class_is_tolerated_and_counted(self, tmp_path, how):
+        store, signature, path, telemetry = self._store(tmp_path)
+        assert self._skipped(telemetry) == 0
+        self.corrupt(path, how)
+        with pytest.warns(RuntimeWarning):
+            assert store.load(signature) is None
+        assert self._skipped(telemetry) == 1
+        skips = [e for e in telemetry.tracer if e.name == EVENT_STORE_SKIP]
+        assert len(skips) == 1
+        assert skips[0].args["entry"] == path.name
+
+    def test_counter_increments_per_skip(self, tmp_path):
+        store, signature, path, telemetry = self._store(tmp_path)
+        self.corrupt(path, "flipped-byte")
+        with pytest.warns(RuntimeWarning):
+            store.load(signature)
+        with pytest.warns(RuntimeWarning):
+            store.load(signature)
+        assert self._skipped(telemetry) == 2
+
+    def test_healthy_load_counts_nothing(self, tmp_path):
+        store, signature, _, telemetry = self._store(tmp_path)
+        assert store.load(signature) is not None
+        assert self._skipped(telemetry) == 0
+        assert not [e for e in telemetry.tracer
+                    if e.name == EVENT_STORE_SKIP]
 
 
 class TestRunnerIntegration:
