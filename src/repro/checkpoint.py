@@ -29,6 +29,7 @@ contribute via their ``state_dict()``/``load_state()`` methods (see
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
 import os
@@ -96,13 +97,25 @@ def write_checkpoint(
     path: os.PathLike,
     document: object,
     meta: Optional[Dict[str, object]] = None,
+    enforce_quota: bool = True,
 ) -> Path:
     """Atomically write ``document`` as a versioned, checksummed snapshot.
 
     ``meta`` (JSON-able) is merged into the header — the engine records
     the executed-access count there so tools can rank checkpoints
     without unpickling the payload.
+
+    Budget-aware: with a process-wide
+    :class:`~repro.budget.BudgetMonitor` armed, the write is pre-checked
+    against the disk quota and charged to the ledger; ``enforce_quota=
+    False`` skips the precheck (the engine's *breach* snapshot — the one
+    that makes a budget-killed run resumable — must never itself be
+    refused by the budget that killed the run).  A real ``ENOSPC``/
+    ``EDQUOT`` surfaces as :class:`~repro.errors.DiskFullError` with a
+    resume hint, not a raw ``OSError``.
     """
+    from repro import budget as _budget
+
     target = Path(path)
     try:
         payload = pickle.dumps(document, protocol=_PICKLE_PROTOCOL)
@@ -129,6 +142,18 @@ def write_checkpoint(
                 ("0" if digest[0] != "0" else "1") + digest[1:]
             )
     header_line = json.dumps(header, sort_keys=True).encode("utf-8")
+    total_bytes = len(MAGIC) + 1 + len(header_line) + 1 + len(write_payload)
+    monitor = _budget.ACTIVE
+    previous_size = 0
+    if monitor is not None:
+        try:
+            previous_size = target.stat().st_size
+        except OSError:
+            previous_size = 0
+        if enforce_quota:
+            monitor.check_disk(
+                total_bytes - previous_size, f"checkpoint {target.name}"
+            )
     target.parent.mkdir(parents=True, exist_ok=True)
     fd, tmp_name = tempfile.mkstemp(
         prefix=target.name + ".", suffix=".tmp", dir=target.parent
@@ -139,6 +164,13 @@ def write_checkpoint(
         ):
             os.close(fd)
             raise OSError(f"injected I/O error writing {target.name}")
+        if injector is not None and injector.fire(
+            "checkpoint.enospc", path=target.name
+        ):
+            os.close(fd)
+            raise OSError(
+                errno.ENOSPC, f"injected disk-full writing {target.name}"
+            )
         with os.fdopen(fd, "wb") as handle:
             handle.write(MAGIC + b"\n")
             handle.write(header_line + b"\n")
@@ -147,6 +179,10 @@ def write_checkpoint(
             os.fsync(handle.fileno())
         os.replace(tmp_name, target)
     except OSError as exc:
+        if _budget.is_disk_full_error(exc):
+            raise _budget.translate_disk_error(
+                exc, f"writing checkpoint {target.name}"
+            ) from exc
         raise CheckpointError(f"cannot write checkpoint {target}: {exc}") from exc
     finally:
         # One cleanup for every exit path: after a successful replace the
@@ -166,6 +202,8 @@ def write_checkpoint(
             os.close(dir_fd)
     except OSError:
         pass
+    if monitor is not None:
+        monitor.charge_disk(total_bytes - previous_size)
     return target
 
 
@@ -264,13 +302,23 @@ class CheckpointWriter:
         self.keep = keep
         self.written = 0
         self.last_write_seconds = 0.0
+        #: Set to ``False`` before an emergency (budget-breach) snapshot:
+        #: the checkpoint that makes a budget-killed run resumable must
+        #: not itself be refused by the exhausted disk quota.
+        self.enforce_quota = True
 
-    def write(self, executed: int, document: object) -> Path:
+    def write(
+        self, executed: int, document: object, meta: Optional[Dict] = None
+    ) -> Path:
         started = time.perf_counter()
+        merged = {"executed": executed}
+        if meta:
+            merged.update(meta)
         path = write_checkpoint(
             self.directory / checkpoint_name(executed),
             document,
-            meta={"executed": executed},
+            meta=merged,
+            enforce_quota=self.enforce_quota,
         )
         self.last_write_seconds = time.perf_counter() - started
         self.written += 1
@@ -279,53 +327,55 @@ class CheckpointWriter:
 
     def write_stall(self, executed: int, document: object) -> Path:
         """Post-mortem snapshot of a stalled run (never pruned, may be
-        mid-access and is marked as such in the header)."""
+        mid-access and is marked as such in the header).  Exempt from
+        quota enforcement — the evidence must land."""
         name = f"{_STALL_PREFIX}{executed:012d}{_CHECKPOINT_SUFFIX}"
         return write_checkpoint(
             self.directory / name,
             document,
             meta={"executed": executed, "stalled": True, "consistent": False},
+            enforce_quota=False,
         )
 
     def _prune(self) -> None:
+        from repro import budget as _budget
+
         stale = list_checkpoints(self.directory)[:-self.keep]
         for path in stale:
             try:
+                freed = path.stat().st_size
                 path.unlink()
             except OSError:  # pruning is best-effort
-                pass
+                continue
+            if _budget.ACTIVE is not None:
+                _budget.ACTIVE.charge_disk(-freed)
 
 
 # ----------------------------------------------------------------------
-# Stall watchdog
+# Heartbeat daemons (stall watchdog, budget monitor)
 # ----------------------------------------------------------------------
-class StallWatchdog:
-    """Flags a simulation whose heartbeat value stops advancing.
+class HeartbeatDaemon:
+    """Shared plumbing for daemon threads fed the engine's heartbeat.
 
-    The engine calls :meth:`beat` with its access counter every round;
-    a daemon thread polls, and if the value has not changed for
-    ``timeout_seconds`` it sets :attr:`tripped` and interrupts the main
-    thread (a ``KeyboardInterrupt`` at the next bytecode boundary).  The
-    *engine* — on its own, now-consistent thread — distinguishes a
-    watchdog trip from a user Ctrl-C via :attr:`tripped`, snapshots the
-    state, and raises :class:`SimulationStalled`.
+    The main loop calls :meth:`beat` with its progress value (the access
+    counter) every round — one attribute store, thread-safe under the
+    GIL; a daemon thread wakes every ``poll_seconds`` and hands the
+    latest value to the subclass's :meth:`_poll` hook.  Subclasses never
+    touch simulator structures, so they cannot race them: the
+    :class:`StallWatchdog` and the :class:`~repro.budget.BudgetMonitor`
+    both observe from the side and let the main thread act.
 
-    The watchdog is intentionally dumb: it never reads or writes
-    simulator structures, so it cannot race them.
+    ``_poll`` returning ``True`` ends the thread (a terminal trip).
     """
 
-    def __init__(
-        self, timeout_seconds: float, poll_seconds: Optional[float] = None
-    ):
-        if timeout_seconds <= 0:
+    thread_name = "repro-heartbeat"
+
+    def __init__(self, poll_seconds: float):
+        if poll_seconds <= 0:
             raise ValueError(
-                f"watchdog timeout must be positive, got {timeout_seconds}"
+                f"poll interval must be positive, got {poll_seconds}"
             )
-        self.timeout_seconds = timeout_seconds
-        self._poll = poll_seconds if poll_seconds else min(
-            1.0, timeout_seconds / 4
-        )
-        self.tripped = False
+        self._poll_seconds = poll_seconds
         self._value: object = None
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
@@ -336,10 +386,10 @@ class StallWatchdog:
 
     def start(self) -> None:
         if self._thread is not None:
-            raise RuntimeError("watchdog already started")
+            raise RuntimeError(f"{type(self).__name__} already started")
         self._stop.clear()
         self._thread = threading.Thread(
-            target=self._run, name="repro-stall-watchdog", daemon=True
+            target=self._run, name=self.thread_name, daemon=True
         )
         self._thread.start()
 
@@ -349,7 +399,7 @@ class StallWatchdog:
             self._thread.join()
             self._thread = None
 
-    def __enter__(self) -> "StallWatchdog":
+    def __enter__(self) -> "HeartbeatDaemon":
         self.start()
         return self
 
@@ -357,16 +407,51 @@ class StallWatchdog:
         self.stop()
 
     def _run(self) -> None:
-        last_value = self._value
-        last_advance = time.monotonic()
-        while not self._stop.wait(self._poll):
-            value = self._value
-            now = time.monotonic()
-            if value != last_value:
-                last_value = value
-                last_advance = now
-                continue
-            if now - last_advance >= self.timeout_seconds:
-                self.tripped = True
-                _thread.interrupt_main()
+        while not self._stop.wait(self._poll_seconds):
+            if self._poll(self._value, time.monotonic()):
                 return
+
+    def _poll(self, value: object, now: float) -> bool:
+        """One observation; return ``True`` to end the thread."""
+        raise NotImplementedError
+
+
+class StallWatchdog(HeartbeatDaemon):
+    """Flags a simulation whose heartbeat value stops advancing.
+
+    The engine calls :meth:`beat` with its access counter every round;
+    the daemon thread polls, and if the value has not changed for
+    ``timeout_seconds`` it sets :attr:`tripped` and interrupts the main
+    thread (a ``KeyboardInterrupt`` at the next bytecode boundary).  The
+    *engine* — on its own, now-consistent thread — distinguishes a
+    watchdog trip from a user Ctrl-C via :attr:`tripped`, snapshots the
+    state, and raises :class:`SimulationStalled`.
+    """
+
+    thread_name = "repro-stall-watchdog"
+
+    def __init__(
+        self, timeout_seconds: float, poll_seconds: Optional[float] = None
+    ):
+        if timeout_seconds <= 0:
+            raise ValueError(
+                f"watchdog timeout must be positive, got {timeout_seconds}"
+            )
+        super().__init__(
+            poll_seconds if poll_seconds else min(1.0, timeout_seconds / 4)
+        )
+        self.timeout_seconds = timeout_seconds
+        self.tripped = False
+        self._last_value: object = None
+        self._last_advance: Optional[float] = None
+
+    def _poll(self, value: object, now: float) -> bool:
+        if self._last_advance is None or value != self._last_value:
+            self._last_value = value
+            self._last_advance = now
+            return False
+        if now - self._last_advance >= self.timeout_seconds:
+            self.tripped = True
+            _thread.interrupt_main()
+            return True
+        return False

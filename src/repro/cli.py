@@ -67,6 +67,34 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _duration_arg(text: str) -> float:
+    """argparse type for wall-clock budgets: '90', '90s', '5m', '2h'."""
+    from repro.budget import parse_duration
+    from repro.errors import ConfigError
+
+    try:
+        value = parse_duration(text)
+    except ConfigError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {text!r}")
+    return value
+
+
+def _size_arg(text: str) -> int:
+    """argparse type for byte budgets: '512M', '2G', '1048576'."""
+    from repro.budget import parse_size
+    from repro.errors import ConfigError
+
+    try:
+        value = parse_size(text)
+    except ConfigError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {text!r}")
+    return value
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -113,6 +141,16 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="declare the run stalled after this many "
                           "wall-clock seconds without forward progress "
                           "(state is snapshotted before aborting)")
+    run.add_argument("--deadline", type=_duration_arg, default=None,
+                     metavar="DURATION",
+                     help="hard wall-clock budget ('90s', '5m'): past it "
+                          "the run checkpoints (with --checkpoint-dir) and "
+                          "exits 7, resumable with --restore auto")
+    run.add_argument("--max-rss", type=_size_arg, default=None,
+                     metavar="SIZE",
+                     help="resident-memory ceiling ('512M', '2G'): soft "
+                          "(85%%) degrades telemetry, hard checkpoints "
+                          "and exits 7")
     run.add_argument("--baseline", action="store_true",
                      help="also run POM-TLB and report relative IPC")
     run.add_argument("--json", action="store_true",
@@ -195,6 +233,11 @@ def _build_parser() -> argparse.ArgumentParser:
                             "as the new baseline)")
     bench.add_argument("--json", action="store_true",
                        help="print the benchmark document as JSON")
+    bench.add_argument("--deadline", type=_duration_arg, default=None,
+                       metavar="DURATION",
+                       help="wall-clock budget for the whole matrix; a "
+                            "deadline hit still writes the (truncated) "
+                            "BENCH artifact, then exits 7")
 
     report = commands.add_parser(
         "report", help="regenerate paper exhibits (DESIGN.md section 6)"
@@ -229,6 +272,23 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="checkpoint in-flight points every N accesses "
                              "(only with --jobs > 1 and --store; a killed "
                              "worker's retry resumes mid-simulation)")
+    report.add_argument("--deadline", type=_duration_arg, default=None,
+                        metavar="DURATION",
+                        help="hard wall-clock budget for the campaign "
+                             "('30m', '2h'): soft (85%%) stops new "
+                             "launches, hard drains in-flight points, "
+                             "writes a PARTIAL report and exits 7 "
+                             "(resume with --resume and no budget)")
+    report.add_argument("--max-rss", type=_size_arg, default=None,
+                        metavar="SIZE",
+                        help="resident-memory ceiling for the campaign "
+                             "parent ('2G')")
+    report.add_argument("--store-quota", type=_size_arg, default=None,
+                        metavar="SIZE",
+                        help="disk budget for --store (entries + "
+                             "checkpoints): writes past it stop the "
+                             "campaign resumably instead of filling the "
+                             "partition")
 
     chaos = commands.add_parser(
         "chaos", help="run a campaign under a fault plan and assert the "
@@ -271,6 +331,14 @@ def _build_parser() -> argparse.ArgumentParser:
                              "entries (they re-simulate on the next run)")
     doctor.add_argument("--json", action="store_true",
                         help="print the doctor report as JSON")
+    doctor.add_argument("--store-quota", type=_size_arg, default=None,
+                        metavar="SIZE",
+                        help="report utilisation of this disk quota in "
+                             "the disk-headroom section")
+    doctor.add_argument("--min-free", type=_size_arg, default=None,
+                        metavar="SIZE",
+                        help="free-space floor for the disk-headroom "
+                             "check (default 256M)")
 
     commands.add_parser("mixes", help="list programs and VM pairings")
 
@@ -381,6 +449,13 @@ def _command_run(args: argparse.Namespace) -> int:
     )
     workloads = make_mix(args.mix, contexts=args.contexts, scale=0.25)
     telemetry = _build_telemetry(args)
+    run_budget = None
+    if args.deadline is not None or args.max_rss is not None:
+        from repro.budget import Budget
+
+        run_budget = Budget(
+            deadline_seconds=args.deadline, max_rss_bytes=args.max_rss
+        )
     progress = None
     if args.progress:
         def progress(update):
@@ -395,6 +470,7 @@ def _command_run(args: argparse.Namespace) -> int:
             restore=args.restore,
             check_invariants=args.check_invariants,
             watchdog_timeout=args.watchdog_timeout,
+            budget=run_budget,
         )
     except InvariantViolation as exc:
         print(f"invariant violation: {exc}", file=sys.stderr)
@@ -583,10 +659,26 @@ def _command_bench(args: argparse.Namespace) -> int:
         write_bench,
     )
 
-    document = run_bench(
-        quick=args.quick, accesses=args.accesses, seed=args.seed,
-        progress=lambda line: print(line, file=sys.stderr),
-    )
+    from repro.errors import BudgetExceededError
+
+    try:
+        document = run_bench(
+            quick=args.quick, accesses=args.accesses, seed=args.seed,
+            progress=lambda line: print(line, file=sys.stderr),
+            deadline=args.deadline,
+        )
+    except BudgetExceededError as exc:
+        # The truncated document still becomes an artifact: a deadline
+        # hit is an incomplete benchmark, not a lost one.
+        truncated = getattr(exc, "document", None)
+        if truncated is not None:
+            path = write_bench(truncated, args.out_dir)
+            print(f"wrote {path} (truncated)", file=sys.stderr)
+            if args.json:
+                print(json.dumps(truncated, indent=2, sort_keys=True))
+            else:
+                print(format_bench(truncated))
+        raise
     path = write_bench(document, args.out_dir)
     print(f"wrote {path}", file=sys.stderr)
     if args.update_baseline:
@@ -638,7 +730,35 @@ def _command_report(args: argparse.Namespace) -> int:
     if args.checkpoint_every is not None and args.store is None:
         print("--checkpoint-every requires --store DIR", file=sys.stderr)
         return 2
+    if args.store_quota is not None and args.store is None:
+        print("--store-quota requires --store DIR", file=sys.stderr)
+        return 2
     store = ResultStore(args.store) if args.store else None
+    monitor = None
+    monitor_armed = False
+    if (
+        args.deadline is not None
+        or args.max_rss is not None
+        or args.store_quota is not None
+    ):
+        from repro import budget as budget_mod
+
+        monitor = budget_mod.BudgetMonitor(
+            budget_mod.Budget(
+                deadline_seconds=args.deadline,
+                max_rss_bytes=args.max_rss,
+                disk_quota_bytes=args.store_quota,
+            )
+        )
+        if store is not None:
+            # The quota covers entries AND per-point checkpoints — both
+            # live under the store root.
+            monitor.track_directory(store.root)
+        # Arm before the pool forks so workers inherit the quota guard
+        # (their copy is passive; this monitor stays the authority).
+        budget_mod.arm(monitor)
+        monitor_armed = True
+        monitor.start()
     try:
         document = report_module.build_report(
             progress=lambda s: print(s, file=sys.stderr),
@@ -649,6 +769,7 @@ def _command_report(args: argparse.Namespace) -> int:
             timeout=args.timeout,
             retries=args.retries,
             checkpoint_every=args.checkpoint_every,
+            monitor=monitor,
         )
     except KeyboardInterrupt as exc:
         # Everything already simulated was persisted write-through; a
@@ -656,6 +777,14 @@ def _command_report(args: argparse.Namespace) -> int:
         message = str(exc) or "interrupted"
         print(f"\n{message}", file=sys.stderr)
         return 130
+    finally:
+        if monitor is not None:
+            monitor.stop()
+            if monitor_armed:
+                from repro import budget as budget_mod
+
+                if budget_mod.ACTIVE is monitor:
+                    budget_mod.disarm()
     text = document.text
     if args.out:
         with open(args.out, "w") as handle:
@@ -666,8 +795,16 @@ def _command_report(args: argparse.Namespace) -> int:
     partial = document.partial_exhibits
     if partial:
         print(f"PARTIAL exhibits: {', '.join(partial)}", file=sys.stderr)
-        if args.strict:
-            return 1
+    if document.budget_breach is not None:
+        # The PARTIAL report is already on disk/stdout; now surface the
+        # breach with its stable exit code (7) and resume hint.
+        breach = document.budget_breach
+        print(f"{type(breach).__name__}: {breach}", file=sys.stderr)
+        from repro.errors import exit_code_for as _exit_code_for
+
+        return _exit_code_for(breach)
+    if partial and args.strict:
+        return 1
     return 0
 
 
@@ -703,10 +840,17 @@ def _command_chaos(args: argparse.Namespace) -> int:
 def _command_doctor(args: argparse.Namespace) -> int:
     from repro.doctor import run_doctor
 
+    from repro.doctor import DEFAULT_MIN_FREE_BYTES
+
     doctor_report = run_doctor(
         store_dir=args.store,
         checkpoint_dirs=args.checkpoint_dir,
         fix=args.fix,
+        store_quota_bytes=args.store_quota,
+        min_free_bytes=(
+            args.min_free if args.min_free is not None
+            else DEFAULT_MIN_FREE_BYTES
+        ),
     )
     if args.json:
         print(json.dumps(doctor_report.to_dict(), indent=2, sort_keys=True))

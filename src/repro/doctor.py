@@ -50,6 +50,10 @@ _CHECKPOINT_TMP_GLOB = "*.tmp"
 #: Glob for checkpoint snapshots (regular and stall post-mortems).
 _SNAPSHOT_GLOB = "*.ckpt"
 
+#: Default free-space floor for the disk-headroom check (256 MiB):
+#: below this, the next campaign is likely to die on ENOSPC.
+DEFAULT_MIN_FREE_BYTES = 256 << 20
+
 
 @dataclass
 class CheckResult:
@@ -238,6 +242,83 @@ def check_checkpoint_round_trip(
     return check
 
 
+def check_disk_headroom(
+    store_dir: Optional[Path],
+    checkpoint_dirs: Sequence[Path] = (),
+    quota_bytes: Optional[int] = None,
+    min_free_bytes: int = DEFAULT_MIN_FREE_BYTES,
+) -> CheckResult:
+    """Report store size, filesystem headroom and quota utilisation.
+
+    A campaign that fills the disk dies with the least useful error in
+    the taxonomy's catalogue, so the doctor warns *before*: free bytes on
+    the store's filesystem below ``min_free_bytes`` is a problem, and so
+    is a configured disk quota that is already ≥ the soft threshold
+    (85%) full.  Without a store directory the check reports the current
+    working directory's filesystem.
+    """
+    import shutil
+
+    from repro.budget import DEFAULT_SOFT_FRACTION, directory_bytes
+
+    check = CheckResult("disk headroom")
+    probe = store_dir if store_dir is not None else Path(".")
+    used = 0
+    if store_dir is not None:
+        if store_dir.is_dir():
+            used = directory_bytes(store_dir)
+            check.notes.append(
+                f"store {store_dir}: {used / (1 << 20):.1f} MiB "
+                "(entries + checkpoints)"
+            )
+        else:
+            check.notes.append(f"{store_dir}: no store directory yet")
+            probe = store_dir.parent if store_dir.parent.is_dir() else Path(".")
+    for directory in checkpoint_dirs:
+        if directory.is_dir() and (
+            store_dir is None or store_dir not in directory.parents
+        ):
+            extra = directory_bytes(directory)
+            used += extra
+            check.notes.append(
+                f"checkpoints {directory}: {extra / (1 << 20):.1f} MiB"
+            )
+    try:
+        usage = shutil.disk_usage(probe)
+    except OSError as exc:
+        check.problems.append(f"cannot stat filesystem of {probe}: {exc}")
+        return check
+    check.notes.append(
+        f"filesystem: {usage.free / (1 << 30):.2f} GiB free of "
+        f"{usage.total / (1 << 30):.2f} GiB"
+    )
+    if usage.free < min_free_bytes:
+        check.problems.append(
+            f"only {usage.free / (1 << 20):.0f} MiB free on the store "
+            f"filesystem (headroom floor: {min_free_bytes / (1 << 20):.0f} "
+            "MiB); free space or the next campaign will hit ENOSPC"
+        )
+    if quota_bytes is not None:
+        fraction = used / quota_bytes if quota_bytes else 1.0
+        check.notes.append(
+            f"quota: {used / (1 << 20):.1f} of "
+            f"{quota_bytes / (1 << 20):.1f} MiB used ({fraction:.0%})"
+        )
+        if used >= quota_bytes:
+            check.problems.append(
+                f"store already exceeds the {quota_bytes:,}-byte quota; "
+                "a budgeted campaign will stop immediately (exit 7)"
+            )
+        elif fraction >= DEFAULT_SOFT_FRACTION:
+            check.problems.append(
+                f"quota {fraction:.0%} full (soft threshold "
+                f"{DEFAULT_SOFT_FRACTION:.0%}): the next budgeted "
+                "campaign starts degraded; prune the store or raise "
+                "--store-quota"
+            )
+    return check
+
+
 def check_configuration() -> CheckResult:
     """The quarter-scale preset must build for every scheme."""
     check = CheckResult("configuration")
@@ -260,6 +341,8 @@ def run_doctor(
     store_dir: Optional[str] = None,
     checkpoint_dirs: Sequence[str] = (),
     fix: bool = False,
+    store_quota_bytes: Optional[int] = None,
+    min_free_bytes: int = DEFAULT_MIN_FREE_BYTES,
 ) -> DoctorReport:
     """Run every check; returns the report (never raises on findings)."""
     store_path = Path(store_dir) if store_dir is not None else None
@@ -271,15 +354,23 @@ def run_doctor(
         check_orphaned_temp_files(store_path, checkpoint_paths, fix=fix)
     )
     report.checks.append(check_checkpoint_round_trip(checkpoint_paths))
+    report.checks.append(
+        check_disk_headroom(
+            store_path, checkpoint_paths,
+            quota_bytes=store_quota_bytes, min_free_bytes=min_free_bytes,
+        )
+    )
     report.checks.append(check_configuration())
     return report
 
 
 __all__ = [
     "CheckResult",
+    "DEFAULT_MIN_FREE_BYTES",
     "DoctorReport",
     "check_checkpoint_round_trip",
     "check_configuration",
+    "check_disk_headroom",
     "check_orphaned_temp_files",
     "check_store_integrity",
     "run_doctor",

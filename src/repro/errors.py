@@ -28,6 +28,9 @@ code   meaning
 5      ``repro doctor`` found problems it did not (or could
        not) fix
 6      an injected fault surfaced uncaught (plan left armed)
+7      a resource budget was exceeded (deadline, RSS ceiling,
+       disk quota, event budget) or the disk filled up; state
+       was checkpointed and the run is resumable
 130    interrupted (SIGINT)
 =====  =====================================================
 
@@ -49,6 +52,7 @@ EXIT_SIMULATION = 3
 EXIT_CHAOS = 4
 EXIT_DOCTOR = 5
 EXIT_INJECTED = 6
+EXIT_BUDGET = 7
 EXIT_INTERRUPT = 130
 
 #: code -> short description, for docs and ``repro chaos`` reporting.
@@ -60,6 +64,7 @@ EXIT_CODES: Dict[int, str] = {
     EXIT_CHAOS: "chaos end-state assertion failed",
     EXIT_DOCTOR: "doctor found unresolved problems",
     EXIT_INJECTED: "injected fault surfaced uncaught",
+    EXIT_BUDGET: "resource budget exceeded (resumable)",
     EXIT_INTERRUPT: "interrupted",
 }
 
@@ -134,6 +139,49 @@ class InjectedFaultError(ReproError):
 
     exit_code = EXIT_INJECTED
     category = "injected"
+
+
+class BudgetExceededError(ReproError):
+    """A resource budget's hard threshold was crossed.
+
+    Raised by the :mod:`repro.budget` machinery after the run has been
+    checkpointed (when checkpointing is configured) and in-flight work
+    has drained — the state on disk is resumable exactly like a SIGINT
+    drain.  ``dimension`` names the breached budget (``deadline``,
+    ``rss``, ``disk``, ``events``); ``snapshot_path`` points at the
+    checkpoint written on the way out, when there is one.
+    """
+
+    exit_code = EXIT_BUDGET
+    category = "budget"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        dimension: str = "unknown",
+        snapshot_path=None,
+    ):
+        super().__init__(message)
+        self.dimension = dimension
+        self.snapshot_path = snapshot_path
+
+
+class DiskFullError(BudgetExceededError):
+    """The filesystem itself ran out of space or quota (ENOSPC/EDQUOT).
+
+    The host-imposed equivalent of a disk-budget breach, so it shares the
+    budget family's exit code (7): either way the cure is the same —
+    free space (or raise the quota) and resume; completed points are
+    already persisted.
+    """
+
+    category = "disk"
+
+    def __init__(self, message: str, *, snapshot_path=None):
+        super().__init__(
+            message, dimension="disk", snapshot_path=snapshot_path
+        )
 
 
 def exit_code_for(exc: BaseException) -> int:

@@ -25,6 +25,7 @@ import platform
 import time
 from typing import Callable, Dict, List, Optional
 
+from repro.budget import Budget, BudgetMonitor
 from repro.core.schemes import Scheme
 from repro.errors import DataError
 from repro.sim.config import small_config
@@ -75,58 +76,98 @@ def run_bench(
     accesses: Optional[int] = None,
     seed: int = 0,
     progress: Optional[Callable[[str], None]] = None,
+    deadline: Optional[float] = None,
 ) -> Dict[str, object]:
-    """Run the benchmark matrix and return the result document."""
+    """Run the benchmark matrix and return the result document.
+
+    ``deadline`` (wall-clock seconds) bounds the whole matrix: points
+    are only started while time remains, and a deadline hit raises
+    :class:`~repro.errors.BudgetExceededError` carrying the truncated
+    document (``error.document``) so the CLI can still write the
+    artifact before exiting 7.  Completed points are never invalidated —
+    a truncated benchmark is a shorter benchmark, not a wrong one.
+    """
     matrix = QUICK_MATRIX if quick else FULL_MATRIX
     total = accesses if accesses is not None else (
         QUICK_ACCESSES if quick else FULL_ACCESSES
     )
+    monitor: Optional[BudgetMonitor] = None
+    if deadline is not None:
+        monitor = BudgetMonitor(Budget(deadline_seconds=deadline))
+        monitor.start()
     points: List[Dict[str, object]] = []
-    for point in matrix:
-        if progress is not None:
-            progress(f"bench {_point_id(point)} x {total} accesses")
-        config = small_config(
-            scheme=Scheme(point["scheme"]),
-            replacement=str(point["replacement"]),
+
+    def document(truncated: bool = False) -> Dict[str, object]:
+        rates = [p["accesses_per_second"] for p in points
+                 if p["accesses_per_second"] > 0]
+        # Harmonic mean: total work over total time, so one slow point
+        # is not papered over by several fast ones.
+        aggregate = (
+            len(rates) / sum(1.0 / r for r in rates) if rates else 0.0
         )
-        workloads = make_mix(str(point["mix"]), scale=0.25)
-        telemetry = Telemetry(accounting=CycleAccountant())
-        result = run_simulation(
-            config, workloads, total_accesses=total, seed=seed,
-            workload_name=str(point["mix"]), telemetry=telemetry,
-        )
-        points.append({
-            "point": _point_id(point),
-            "mix": point["mix"],
-            "scheme": point["scheme"],
-            "replacement": point["replacement"],
-            "accesses": total,
-            "host_seconds": float(result.extra["host_seconds"]),
-            "accesses_per_second": float(
-                result.extra["host_accesses_per_second"]
-            ),
-            "sim_cycles_per_second": float(
-                result.extra["host_sim_cycles_per_second"]
-            ),
-            "ipc": result.ipc,
-        })
-    rates = [p["accesses_per_second"] for p in points
-             if p["accesses_per_second"] > 0]
-    # Harmonic mean: total work over total time, so one slow point is
-    # not papered over by several fast ones.
-    aggregate = len(rates) / sum(1.0 / r for r in rates) if rates else 0.0
-    return {
-        "schema_version": SCHEMA_VERSION,
-        "quick": quick,
-        "accesses_per_point": total,
-        "seed": seed,
-        "host": {
-            "python": platform.python_version(),
-            "machine": platform.machine(),
-        },
-        "points": points,
-        "aggregate_accesses_per_second": aggregate,
-    }
+        result: Dict[str, object] = {
+            "schema_version": SCHEMA_VERSION,
+            "quick": quick,
+            "accesses_per_point": total,
+            "seed": seed,
+            "host": {
+                "python": platform.python_version(),
+                "machine": platform.machine(),
+            },
+            "points": points,
+            "aggregate_accesses_per_second": aggregate,
+        }
+        if truncated:
+            result["truncated"] = {
+                "reason": "deadline",
+                "deadline_seconds": deadline,
+                "points_run": len(points),
+                "points_total": len(matrix),
+            }
+        return result
+
+    try:
+        for index, point in enumerate(matrix):
+            if monitor is not None:
+                monitor.beat(index)
+                if monitor.sample() is not None:
+                    error = monitor.build_error(
+                        f"bench stopped after {len(points)} of "
+                        f"{len(matrix)} matrix point(s)"
+                    )
+                    error.document = document(truncated=True)
+                    raise error
+            if progress is not None:
+                progress(f"bench {_point_id(point)} x {total} accesses")
+            config = small_config(
+                scheme=Scheme(point["scheme"]),
+                replacement=str(point["replacement"]),
+            )
+            workloads = make_mix(str(point["mix"]), scale=0.25)
+            telemetry = Telemetry(accounting=CycleAccountant())
+            result = run_simulation(
+                config, workloads, total_accesses=total, seed=seed,
+                workload_name=str(point["mix"]), telemetry=telemetry,
+            )
+            points.append({
+                "point": _point_id(point),
+                "mix": point["mix"],
+                "scheme": point["scheme"],
+                "replacement": point["replacement"],
+                "accesses": total,
+                "host_seconds": float(result.extra["host_seconds"]),
+                "accesses_per_second": float(
+                    result.extra["host_accesses_per_second"]
+                ),
+                "sim_cycles_per_second": float(
+                    result.extra["host_sim_cycles_per_second"]
+                ),
+                "ipc": result.ipc,
+            })
+    finally:
+        if monitor is not None:
+            monitor.stop()
+    return document()
 
 
 def write_bench(

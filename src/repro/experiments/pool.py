@@ -39,7 +39,13 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import faults
-from repro.errors import InjectedFaultError, ReproError
+from repro.budget import BudgetMonitor
+from repro.errors import (
+    BudgetExceededError,
+    DiskFullError,
+    InjectedFaultError,
+    ReproError,
+)
 from repro.experiments import runner
 from repro.experiments.store import ResultStore, signature_key
 from repro.sim.stats import SimulationResult
@@ -81,6 +87,7 @@ class CampaignSummary:
     reused: int = 0       # already in the in-memory cache
     loaded: int = 0       # restored from the persistent store
     simulated: int = 0
+    skipped: int = 0      # never launched: budget hard stop (resumable)
     failures: List[PointFailure] = field(default_factory=list)
 
     @property
@@ -94,6 +101,8 @@ class CampaignSummary:
             f"{self.loaded} restored from store",
             f"{self.reused} cached",
         ]
+        if self.skipped:
+            parts.append(f"{self.skipped} skipped (budget)")
         if self.failures:
             parts.append(f"{len(self.failures)} FAILED")
         return ", ".join(parts)
@@ -189,6 +198,19 @@ def _worker_entry(
         conn.send(("ok", result.to_dict()))
     except (KeyboardInterrupt, SystemExit):
         raise
+    except BudgetExceededError as exc:
+        # A disk-full/budget wall is campaign-level, not point-level —
+        # every other worker would hit it too.  Ship it distinctly so
+        # the parent stops the campaign resumably instead of recording
+        # one identical failure per point.
+        try:
+            conn.send(("budget", {
+                "type": type(exc).__name__,
+                "message": str(exc),
+                "dimension": exc.dimension,
+            }))
+        except (OSError, ValueError):  # pragma: no cover - parent gone
+            pass
     except ReproError as exc:
         # An understood, deterministic failure: ship the classification.
         try:
@@ -212,6 +234,30 @@ def _worker_entry(
 
 def _label(signature: Signature) -> str:
     return f"{signature.get('mix_name')}/{signature.get('scheme')}"
+
+
+def _responsive_sleep(
+    seconds: float,
+    latch: Optional["_SigintLatch"] = None,
+    monitor: Optional[BudgetMonitor] = None,
+    slice_seconds: float = 0.05,
+) -> None:
+    """Sleep up to ``seconds``, waking early on SIGINT or a hard breach.
+
+    Backoff waits used to be opaque to the interrupt latch and the
+    budget deadline; slicing them keeps a budgeted campaign from
+    oversleeping its hard stop by a full backoff interval.
+    """
+    wake_at = time.monotonic() + seconds
+    while True:
+        if latch is not None and latch.interrupted:
+            return
+        if monitor is not None and monitor.hard_breach is not None:
+            return
+        remaining = wake_at - time.monotonic()
+        if remaining <= 0:
+            return
+        time.sleep(min(slice_seconds, remaining))
 
 
 class _SigintLatch:
@@ -253,6 +299,7 @@ def run_campaign(
     backoff: float = DEFAULT_BACKOFF_SECONDS,
     progress: Optional[Progress] = None,
     checkpoint_every: Optional[int] = None,
+    monitor: Optional[BudgetMonitor] = None,
 ) -> CampaignSummary:
     """Drain ``signatures`` and return what happened to each unique point.
 
@@ -268,6 +315,15 @@ def run_campaign(
     ``<store>/checkpoints/<signature-key>``; the retry of a killed or
     timed-out worker resumes from the newest snapshot instead of
     restarting, and a completed point's snapshots are deleted.
+
+    ``monitor`` (a started :class:`~repro.budget.BudgetMonitor`) puts the
+    campaign under resource budgets: a *soft* threshold stops launching
+    new points while in-flight ones finish and persist; a *hard* breach
+    drains exactly like a SIGINT, poisons the never-launched points (so
+    exhibits render PARTIAL instead of silently re-simulating) and
+    raises :class:`~repro.errors.BudgetExceededError` — the store stays
+    resumable, and re-running without budgets converges byte-identically
+    to a never-budgeted campaign.
 
     Raises :class:`CampaignInterrupted` after SIGINT, once everything
     already simulated has been persisted.
@@ -295,21 +351,74 @@ def run_campaign(
         return summary
 
     with _SigintLatch() as latch:
-        if jobs <= 1:
-            _run_inline(todo, summary, latch, note)
-        else:
-            _run_parallel(
-                todo, summary, latch, note,
-                jobs=jobs, store=store, timeout=timeout,
-                retries=retries, backoff=backoff,
-                checkpoint_every=checkpoint_every,
+        try:
+            if jobs <= 1:
+                _run_inline(todo, summary, latch, note, monitor=monitor)
+            else:
+                _run_parallel(
+                    todo, summary, latch, note,
+                    jobs=jobs, store=store, timeout=timeout,
+                    retries=retries, backoff=backoff,
+                    checkpoint_every=checkpoint_every, monitor=monitor,
+                )
+        except BudgetExceededError as exc:
+            # The store/checkpoint layer stopped the campaign directly
+            # (a real ENOSPC, or a quota precheck outside the monitor's
+            # own sampling): same resumable-stop semantics as a
+            # monitored hard breach.
+            _skip_unfinished(
+                todo, summary, getattr(exc, "dimension", "budget"), note
             )
+            exc.summary = summary
+            raise
         if latch.interrupted:
             raise CampaignInterrupted(
                 f"campaign interrupted; {summary.simulated} completed "
                 "point(s) were persisted"
             )
+        if monitor is not None and monitor.hard_breach is not None:
+            breach = monitor.hard_breach
+            _skip_unfinished(todo, summary, breach.describe(), note)
+            error = monitor.build_error(
+                f"campaign stopped after {summary.simulated} simulated "
+                f"point(s); {summary.skipped} not run"
+            )
+            error.summary = summary  # callers render the partial campaign
+            raise error
     return summary
+
+
+def _skip_unfinished(
+    todo: List[_Attempt],
+    summary: CampaignSummary,
+    reason: str,
+    note: Progress,
+) -> None:
+    """Poison every point the budget stop kept from running.
+
+    ``runner.mark_failed`` is in-memory only: this run's exhibits render
+    PARTIAL instead of quietly re-simulating for hours, while a *new*
+    process resuming against the same store simply runs the points.
+    """
+    failed = {
+        signature_key(failure.signature) for failure in summary.failures
+    }
+    for attempt in todo:
+        if signature_key(attempt.signature) in failed:
+            continue
+        if runner.is_cached(attempt.signature):
+            continue
+        summary.skipped += 1
+        runner.mark_failed(
+            attempt.signature,
+            f"not run: campaign budget exceeded ({reason}); "
+            "resume without (or with a larger) budget to finish",
+        )
+    if summary.skipped:
+        note(
+            f"budget exceeded ({reason}): {summary.skipped} point(s) "
+            "not run; completed points are persisted and resumable"
+        )
 
 
 # ----------------------------------------------------------------------
@@ -327,18 +436,34 @@ def _run_inline(
     summary: CampaignSummary,
     latch: _SigintLatch,
     note: Progress,
+    monitor: Optional[BudgetMonitor] = None,
 ) -> None:
-    """Single-process execution: per-point exception isolation only."""
+    """Single-process execution: per-point exception isolation only.
+
+    Budget admission control is between points: each point is one
+    indivisible launch, so a hard breach stops *before* the next launch
+    (soft pressure has no in-flight set to drain here — degradation is
+    the monitor's telemetry downsampling).
+    """
     done = summary.reused + summary.loaded
     for attempt in todo:
         if latch.interrupted:
             break
+        if monitor is not None:
+            monitor.beat(done)
+            if monitor.sample() is not None:
+                break
         attempt.attempts += 1
         try:
             runner.run_point(**runner.point_from_signature(attempt.signature))
         except KeyboardInterrupt:
             latch.count = max(latch.count, 1)
             break
+        except BudgetExceededError:
+            # Not a per-point fault: a disk-full (or any budget) stop
+            # would hit every later point too.  Stop the campaign
+            # resumably; run_campaign attaches the partial summary.
+            raise
         except ReproError as exc:
             # A classified failure from the taxonomy: record and move on.
             _record_failure(
@@ -373,6 +498,7 @@ def _run_parallel(
     retries: int,
     backoff: float,
     checkpoint_every: Optional[int] = None,
+    monitor: Optional[BudgetMonitor] = None,
 ) -> None:
     """Process-per-point execution with timeout, retry and SIGINT drain."""
     # Prefer fork: cheap starts, and the child sees the parent's runtime
@@ -408,6 +534,12 @@ def _run_parallel(
             _record_failure(summary, attempt, error, note)
             return
         delay = backoff * (2 ** (attempt.attempts - 1))
+        if monitor is not None:
+            # Never schedule a retry past the hard deadline: the backoff
+            # shrinks to whatever budget is actually left.
+            remaining = monitor.deadline_remaining()
+            if remaining is not None:
+                delay = max(0.0, min(delay, remaining))
         attempt.ready_at = time.monotonic() + delay
         note(
             f"retrying {_label(attempt.signature)} in {delay:.1f}s "
@@ -444,15 +576,40 @@ def _run_parallel(
                 f"[{done}/{summary.total}] {_label(task.attempt.signature)} "
                 "simulated"
             )
+        elif status == "budget":
+            # Reconstruct the worker's budget stop in the parent; it
+            # propagates out of the drain loop (the finally terminates
+            # the other workers) up to run_campaign's resumable-stop
+            # handling.
+            if payload.get("type") == "DiskFullError":
+                raise DiskFullError(payload["message"])
+            raise BudgetExceededError(
+                payload["message"],
+                dimension=payload.get("dimension", "unknown"),
+            )
         else:
             # An exception inside the simulation is deterministic —
             # retrying cannot help, fail the point immediately.
             _record_failure(summary, task.attempt, str(payload), note)
 
+    soft_note = False
     try:
         while queue or running:
-            draining = latch.interrupted
-            if draining and not drained_note and running:
+            if monitor is not None:
+                monitor.beat(
+                    summary.reused + summary.loaded + summary.simulated
+                )
+                monitor.sample()
+            hard = monitor is not None and monitor.hard_breach is not None
+            soft = monitor is not None and bool(monitor.soft_active)
+            draining = latch.interrupted or hard
+            if hard and not drained_note and running:
+                note(
+                    f"budget exceeded: waiting for {len(running)} in-flight "
+                    "point(s) to finish and persist before stopping"
+                )
+                drained_note = True
+            if latch.interrupted and not drained_note and running:
                 note(
                     f"interrupt: waiting for {len(running)} in-flight "
                     "point(s) to finish and persist (Ctrl-C again to abort)"
@@ -460,12 +617,25 @@ def _run_parallel(
                 drained_note = True
             if draining and not running:
                 break
+            if soft and not draining and not soft_note and queue:
+                note(
+                    "budget soft threshold reached "
+                    f"({', '.join(sorted(monitor.soft_active))}): narrowing "
+                    "the pool to one worker while pressure lasts"
+                )
+                soft_note = True
             now = time.monotonic()
+            # Soft pressure narrows the pool to one worker instead of
+            # freezing it: in-flight points finish, then work trickles
+            # serially until the pressure clears or goes hard.  (A soft
+            # RSS/disk level can plateau below 100% indefinitely; a
+            # frozen pool would idle forever.)
+            slots = 1 if soft else jobs
             if not draining:
                 launchable = [
                     attempt for attempt in queue if attempt.ready_at <= now
                 ]
-                while launchable and len(running) < jobs:
+                while launchable and len(running) < slots:
                     attempt = launchable.pop(0)
                     queue.remove(attempt)
                     launch(attempt)
@@ -486,7 +656,7 @@ def _run_parallel(
                             task.attempt, f"timed out after {timeout:.1f}s"
                         )
             if not finished:
-                time.sleep(0.02)
+                _responsive_sleep(0.02, latch, monitor)
     finally:
         for task in running:  # second Ctrl-C / unexpected error: hard stop
             task.process.terminate()

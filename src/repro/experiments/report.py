@@ -22,7 +22,8 @@ from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import ReproError
+from repro.budget import BudgetMonitor
+from repro.errors import BudgetExceededError, ReproError
 from repro.experiments import ablations, figures, runner
 from repro.experiments.pool import CampaignSummary, run_campaign
 from repro.experiments.runner import (
@@ -103,6 +104,10 @@ class ReportDocument:
     text: str
     statuses: Dict[str, str] = field(default_factory=dict)  # name -> ok|partial
     campaign: Optional[CampaignSummary] = None
+    #: Set when a resource budget stopped the campaign: the report still
+    #: rendered (PARTIAL where points are missing), but the caller owes
+    #: the user exit code 7 and a resume hint.
+    budget_breach: Optional[BudgetExceededError] = None
 
     @property
     def partial_exhibits(self) -> List[str]:
@@ -137,6 +142,7 @@ def build_report(
     timeout: Optional[float] = None,
     retries: int = 2,
     checkpoint_every: Optional[int] = None,
+    monitor: Optional[BudgetMonitor] = None,
 ) -> ReportDocument:
     """Generate the report, optionally through a crash-safe campaign.
 
@@ -145,20 +151,34 @@ def build_report(
     (persistent, deduplicated, fault-isolated); rendering then reads
     warm caches.  An exhibit whose points failed renders as PARTIAL with
     the error attached — the rest of the report still completes.
+
+    ``monitor`` runs the campaign under resource budgets: on a hard
+    breach the report is *still rendered* from whatever completed
+    (breach-skipped points show as PARTIAL), and the breach is returned
+    in ``document.budget_breach`` so the CLI can write the artifact and
+    then exit 7.
     """
     selected = list(experiments if experiments is not None else EXPERIMENTS)
     campaign = None
-    if store is not None or jobs > 1:
+    breach: Optional[BudgetExceededError] = None
+    if store is not None or jobs > 1 or monitor is not None:
         if store is not None:
             runner.set_store(store, consult=resume)
-        campaign = run_campaign(
-            enumerate_points(selected),
-            jobs=jobs, store=store, resume=resume,
-            timeout=timeout, retries=retries, progress=progress,
-            checkpoint_every=checkpoint_every,
-        )
-        progress(f"campaign: {campaign.format()}")
-    document = ReportDocument(text="", campaign=campaign)
+        try:
+            campaign = run_campaign(
+                enumerate_points(selected),
+                jobs=jobs, store=store, resume=resume,
+                timeout=timeout, retries=retries, progress=progress,
+                checkpoint_every=checkpoint_every, monitor=monitor,
+            )
+        except BudgetExceededError as exc:
+            breach = exc
+            campaign = getattr(exc, "summary", None)
+        if campaign is not None:
+            progress(f"campaign: {campaign.format()}")
+    document = ReportDocument(
+        text="", campaign=campaign, budget_breach=breach
+    )
     sections = [
         "# CSALT reproduction report",
         "",
@@ -167,6 +187,11 @@ def build_report(
         "see DESIGN.md Section 5).",
         "",
     ]
+    if breach is not None:
+        sections.append(
+            f"> **PARTIAL — budget exceeded ({breach.dimension})**: "
+            f"{breach}\n"
+        )
     for name, experiment in selected:
         started = perf_counter()
         try:

@@ -88,7 +88,18 @@ class ResultStore:
     def save(
         self, signature: Mapping[str, object], result: SimulationResult
     ) -> Path:
-        """Atomically persist ``result`` under its signature digest."""
+        """Atomically persist ``result`` under its signature digest.
+
+        Quota-aware: when a :class:`~repro.budget.BudgetMonitor` is armed
+        process-wide, the write is pre-checked against the disk quota
+        (refused with :class:`~repro.errors.BudgetExceededError` before
+        any bytes land) and charged to the monitor's ledger afterwards.
+        A real ``ENOSPC``/``EDQUOT`` from the filesystem surfaces as
+        :class:`~repro.errors.DiskFullError` with a resume hint instead
+        of a raw ``OSError`` traceback.
+        """
+        from repro import budget as _budget
+
         document = {
             "schema_version": SCHEMA_VERSION,
             "signature": dict(signature),
@@ -109,6 +120,14 @@ class ResultStore:
                 raise OSError(
                     errno.EIO, f"injected I/O error persisting {path.name}"
                 )
+            if injector.fire("store.enospc", **context):
+                raise _budget.translate_disk_error(
+                    OSError(
+                        errno.ENOSPC,
+                        f"injected disk-full persisting {path.name}",
+                    ),
+                    f"persisting result {path.name}",
+                )
             if injector.fire("store.save.wrong_signature", **context):
                 mutated = dict(document["signature"])
                 mutated["mix_name"] = "__chaos__"
@@ -119,24 +138,44 @@ class ResultStore:
                 data = data[: len(data) // 2]
             elif injector.fire("store.save.corrupt_byte", **context):
                 data = faults.flip_byte(data)
-        handle = tempfile.NamedTemporaryFile(
-            mode="wb", dir=self.root, prefix=".tmp-", suffix=".json",
-            delete=False,
-        )
-        try:
-            with handle:
-                handle.write(data)
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(handle.name, path)
-        finally:
-            # After a successful replace the temp name no longer exists
-            # and the unlink is a no-op; on *any* failure (including an
-            # interrupt between write and replace) it sweeps the orphan.
+        monitor = _budget.ACTIVE
+        previous_size = 0
+        if monitor is not None:
             try:
-                os.unlink(handle.name)
+                previous_size = path.stat().st_size
             except OSError:
-                pass
+                previous_size = 0
+            monitor.check_disk(
+                len(data) - previous_size, f"result entry {path.name}"
+            )
+        try:
+            handle = tempfile.NamedTemporaryFile(
+                mode="wb", dir=self.root, prefix=".tmp-", suffix=".json",
+                delete=False,
+            )
+            try:
+                with handle:
+                    handle.write(data)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(handle.name, path)
+            finally:
+                # After a successful replace the temp name no longer
+                # exists and the unlink is a no-op; on *any* failure
+                # (including an interrupt between write and replace) it
+                # sweeps the orphan.
+                try:
+                    os.unlink(handle.name)
+                except OSError:
+                    pass
+        except OSError as exc:
+            if _budget.is_disk_full_error(exc):
+                raise _budget.translate_disk_error(
+                    exc, f"persisting result {path.name}"
+                ) from exc
+            raise
+        if monitor is not None:
+            monitor.charge_disk(len(data) - previous_size)
         return path
 
     def load(

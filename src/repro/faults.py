@@ -64,6 +64,10 @@ FAULT_POINTS: Dict[str, str] = {
         "persist the entry under a mutated signature (hash collision / "
         "hand-edited file)"
     ),
+    "store.enospc": (
+        "raise OSError(ENOSPC) while persisting a result (disk full; must "
+        "surface as DiskFullError, exit 7, resumable)"
+    ),
     "store.load.io_error": (
         "raise OSError(EIO) while reading a store entry (transient read "
         "failure; the loader must degrade to a miss)"
@@ -78,6 +82,10 @@ FAULT_POINTS: Dict[str, str] = {
     ),
     "checkpoint.write.flip_checksum": (
         "corrupt the checkpoint header's sha256 (reader must reject)"
+    ),
+    "checkpoint.enospc": (
+        "raise OSError(ENOSPC) mid checkpoint write (disk full; previous "
+        "snapshot must survive and DiskFullError must surface)"
     ),
     "checkpoint.read.io_error": (
         "raise OSError(EIO) while reading a checkpoint"

@@ -29,6 +29,7 @@ from itertools import islice
 from pathlib import Path
 from typing import Callable, List, Optional, Union
 
+from repro import budget as budget_mod
 from repro import faults
 from repro.errors import ConfigError
 from repro.checkpoint import (
@@ -147,6 +148,7 @@ def run_simulation(
     checkpoint_keep: int = 3,
     check_invariants: Optional[int] = None,
     watchdog_timeout: Optional[float] = None,
+    budget: Optional[budget_mod.Budget] = None,
 ) -> SimulationResult:
     """Simulate ``total_accesses`` memory references across all cores.
 
@@ -183,7 +185,16 @@ def run_simulation(
     * ``watchdog_timeout`` — wall-clock seconds without forward progress
       before the run is declared stalled: state is snapshotted (into
       ``checkpoint_dir`` when given) and
-      :class:`~repro.checkpoint.SimulationStalled` raised.
+      :class:`~repro.checkpoint.SimulationStalled` raised;
+    * ``budget`` — a :class:`~repro.budget.Budget` of explicit resource
+      limits (deadline, RSS ceiling, disk quota, event budget).  A
+      :class:`~repro.budget.BudgetMonitor` samples usage beside the
+      watchdog; crossing a soft threshold degrades gracefully
+      (telemetry downsampling, doubled checkpoint cadence), crossing a
+      hard one snapshots the run (when checkpointing is configured) and
+      raises :class:`~repro.errors.BudgetExceededError` — resumable
+      exactly like an interrupt, and a resumed run converges to the
+      same result bit-for-bit (see ``docs/budgets.md``).
     """
     if len(workloads) != config.num_vms:
         raise ConfigError(
@@ -314,6 +325,20 @@ def run_simulation(
         watchdog.beat(executed)
         watchdog.start()
 
+    monitor: Optional[budget_mod.BudgetMonitor] = None
+    monitor_armed_here = False
+    if budget is not None and budget.enabled:
+        monitor = budget_mod.BudgetMonitor(budget, telemetry=telemetry)
+        if checkpoint_dir is not None:
+            monitor.track_directory(checkpoint_dir)
+        if budget_mod.ACTIVE is None:
+            # Make this monitor the process-wide quota authority so the
+            # store/checkpoint writers precheck and charge against it.
+            budget_mod.arm(monitor)
+            monitor_armed_here = True
+        monitor.beat(executed)
+        monitor.start()
+
     run_started = time.perf_counter()
     if progress is not None and progress_every is None:
         progress_every = max(_CORE_BATCH * config.cores, total_accesses // 20)
@@ -337,6 +362,8 @@ def run_simulation(
             executed += _CORE_BATCH * config.cores
             if watchdog is not None:
                 watchdog.beat(executed)
+            if monitor is not None:
+                monitor.beat(executed)
             if warm and executed >= warmup_end:
                 system.reset_stats()
                 warm = False
@@ -381,7 +408,35 @@ def run_simulation(
                         executed=executed,
                         seconds=writer.last_write_seconds,
                     )
-                next_checkpoint += checkpoint_every
+                # Soft budget pressure doubles the checkpoint cadence:
+                # the closer the hard stop, the less work a stop loses.
+                if monitor is not None and monitor.soft_active:
+                    next_checkpoint += max(1, checkpoint_every // 2)
+                else:
+                    next_checkpoint += checkpoint_every
+            # Hard budget breach: checkpoint-then-stop.  Checked at the
+            # end of the iteration so the snapshot is a consistent,
+            # post-sampling resume point — identical semantics to the
+            # periodic checkpoint above, so a resumed run is
+            # bit-identical to one that was never stopped.
+            if monitor is not None and monitor.hard_breach is not None:
+                breach_snapshot: Optional[str] = None
+                if writer is not None:
+                    # The emergency snapshot must land even when the
+                    # breached budget *is* the disk quota.
+                    writer.enforce_quota = False
+                    breach_snapshot = str(
+                        writer.write(
+                            executed,
+                            snapshot_document(),
+                            meta={"budget_breach": True},
+                        )
+                    )
+                error = monitor.build_error(
+                    f"budget exceeded at access {executed}/{total_accesses}"
+                )
+                error.snapshot_path = breach_snapshot
+                raise error
     except KeyboardInterrupt:
         if watchdog is None or not watchdog.tripped:
             raise  # a real Ctrl-C, not ours
@@ -394,6 +449,10 @@ def run_simulation(
             # consistent *between* accesses at worst mid-batch; the stall
             # header marks it as a post-mortem artifact, not a resume point.
             stall_document = snapshot_document()
+            if monitor is not None:
+                # Budget pressure is prime stall context: a run wedged at
+                # 99% RSS died of thrashing, not of a simulator bug.
+                stall_document["budget"] = monitor.to_dict()
             injector = faults.ACTIVE
             if injector is not None:
                 # A stall under chaos usually IS the chaos: embed the armed
@@ -422,6 +481,10 @@ def run_simulation(
     finally:
         if watchdog is not None:
             watchdog.stop()
+        if monitor is not None:
+            monitor.stop()
+            if monitor_armed_here and budget_mod.ACTIVE is monitor:
+                budget_mod.disarm()
     elapsed = time.perf_counter() - run_started
     if progress is not None:
         progress(ProgressUpdate(executed, total_accesses, elapsed))
@@ -454,4 +517,8 @@ def run_simulation(
         result.extra["host_checkpoints_written"] = writer.written
     if restored_from is not None:
         result.extra["host_restored_from"] = str(restored_from)
+    if monitor is not None:
+        # ``host_``-prefixed so the store strips it: a budgeted and an
+        # unbudgeted run of the same point persist byte-identical files.
+        result.extra["host_budget"] = monitor.to_dict()
     return result

@@ -41,6 +41,8 @@ from repro.telemetry.accounting import (
 )
 from repro.telemetry.events import (
     DEFAULT_TRACE_CAPACITY,
+    EVENT_BUDGET_HARD,
+    EVENT_BUDGET_SOFT,
     EVENT_FAULT,
     EVENT_PARTITION,
     EVENT_POM_LOOKUP,
@@ -69,6 +71,8 @@ __all__ = [
     "CpiStack",
     "CycleAccountant",
     "DEFAULT_TRACE_CAPACITY",
+    "EVENT_BUDGET_HARD",
+    "EVENT_BUDGET_SOFT",
     "EVENT_FAULT",
     "EVENT_PARTITION",
     "EVENT_POM_LOOKUP",
