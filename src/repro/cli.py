@@ -216,8 +216,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--quick", action="store_true",
                        help="small matrix / short runs (CI smoke)")
+    bench.add_argument("--micro", action="store_true",
+                       help="time datapath primitives in isolation "
+                            "(cache lookup/fill, TLB lookup, page walks) "
+                            "instead of whole simulations")
     bench.add_argument("--accesses", type=_positive_int, default=None,
-                       help="override accesses per matrix point")
+                       help="override accesses per matrix point "
+                            "(with --micro: operations per component)")
     bench.add_argument("--seed", type=int, default=0)
     bench.add_argument("--out-dir", default=".", metavar="DIR",
                        help="directory for BENCH_<timestamp>.json")
@@ -660,6 +665,24 @@ def _command_bench(args: argparse.Namespace) -> int:
     )
 
     from repro.errors import BudgetExceededError
+
+    if args.micro:
+        from repro.experiments.bench import format_micro_bench, run_micro_bench
+
+        document = run_micro_bench(
+            operations=args.accesses,
+            progress=lambda line: print(line, file=sys.stderr),
+        )
+        path = write_bench(document, args.out_dir)
+        print(f"wrote {path}", file=sys.stderr)
+        if args.json:
+            print(json.dumps(document, indent=2, sort_keys=True))
+        else:
+            print(format_micro_bench(document))
+        if args.baseline:
+            print("micro documents are informational; skipping baseline "
+                  "comparison", file=sys.stderr)
+        return 0
 
     try:
         document = run_bench(

@@ -195,6 +195,9 @@ class PartitionController:
         self.weight_provider = weight_provider
         self.estimate_positions = estimate_positions
         self.profilers = ProfilerPair.for_ways(cache.ways, sample_shift)
+        #: Inline shadow-mode sampling test for :meth:`observe` (matches
+        #: ``StackDistanceProfiler.is_sampled`` on both profilers).
+        self._sample_mask = (1 << sample_shift) - 1
         self._accesses_in_epoch = 0
         self.total_accesses = 0
         self.timeline: List[PartitionDecision] = []
@@ -219,18 +222,23 @@ class PartitionController:
         self._record_decision(start, 1.0, 1.0)
 
     # ------------------------------------------------------------------
-    def observe(self, kind: LineKind, set_index: int, tag: int, hit: bool) -> None:
+    def observe(self, kind: int, set_index: int, tag: int, hit: bool) -> None:
         """Feed one cache access to the profilers; repartition on epoch end.
 
         Call *after* the cache lookup so ``cache.last_stack_position`` is
-        valid in estimate mode.
+        valid in estimate mode.  ``kind`` may be a :class:`LineKind` or
+        its plain int value (DATA falsy, TLB truthy).  This runs once per
+        L2/L3 reference, so the shadow-mode sampling test is inlined:
+        unsampled sets (the 15-of-16 common case at the default
+        ``sample_shift``) never pay a profiler call.
         """
-        profiler = self.profilers.data if kind is LineKind.DATA else self.profilers.tlb
+        pair = self.profilers
+        profiler = pair.tlb if kind else pair.data
         if self.estimate_positions:
             position = self.cache.last_stack_position if hit else None
             profiler.record_position(position)
-        else:
-            profiler.record(set_index, tag)
+        elif set_index & self._sample_mask == 0:
+            profiler.record_sampled(set_index, tag)
         self._accesses_in_epoch += 1
         self.total_accesses += 1
         if self._accesses_in_epoch >= self.epoch_accesses:

@@ -47,6 +47,14 @@ class StackDistanceProfiler:
         """Observe an access in shadow mode (ignored for unsampled sets)."""
         if not self.is_sampled(set_index):
             return
+        self.record_sampled(set_index, tag)
+
+    def record_sampled(self, set_index: int, tag: int) -> None:
+        """Shadow-mode update for a set the *caller* already knows is
+        sampled.  The hot path (``PartitionController.observe``) tests
+        the sample mask inline and only pays this call for the 1-in-
+        ``2**sample_shift`` sets that pass, instead of calling in to an
+        immediate early return for the rest."""
         stack = self._shadow.get(set_index)
         if stack is None:
             stack = []

@@ -12,7 +12,7 @@ so the benchmark times the instrumented path users actually pay for.
 
 A current run can be compared against a committed baseline
 (``benchmarks/bench_baseline.json``) with a relative tolerance: CI's
-``bench-smoke`` job fails when aggregate throughput regresses by more
+``perf-smoke`` job fails when aggregate throughput regresses by more
 than 25%.  The tolerance is deliberately loose — shared CI runners
 jitter — so only step-function regressions trip it.
 """
@@ -57,6 +57,9 @@ FULL_MATRIX: List[Dict[str, object]] = QUICK_MATRIX + [
 
 QUICK_ACCESSES = 8_000
 FULL_ACCESSES = 40_000
+
+#: Operations per micro-benchmark component (``repro bench --micro``).
+MICRO_OPERATIONS = 20_000
 
 
 class BenchError(DataError, RuntimeError):
@@ -168,6 +171,200 @@ def run_bench(
         if monitor is not None:
             monitor.stop()
     return document()
+
+
+# ----------------------------------------------------------------------
+# Micro-benchmarks: one datapath layer at a time
+# ----------------------------------------------------------------------
+#
+# ``run_bench`` times whole simulations, which is what users pay for but
+# tells you nothing about *which* layer regressed.  The micro mode times
+# each hot-path primitive in isolation — a cache hit probe, a cache
+# miss-fill (victim selection included), an L1 TLB hit probe, and native /
+# virtualized page walks — so a future PR that slows one layer shows up as
+# one moved number instead of a whole-matrix bisection.  Inputs are fully
+# deterministic (fixed address strides, no RNG), so run-to-run variance is
+# host jitter only.
+
+def _micro_cache_lookup(operations: int) -> Callable[[], float]:
+    """Hit-path probes of a warm 32 KB / 8-way cache (every probe hits)."""
+    from repro.mem.address import CACHE_LINE_BYTES
+    from repro.mem.cache import Cache, LineKind
+
+    cache = Cache("micro-l2", 1 << 15, ways=8, latency=10, policy="lru")
+    lines = (1 << 15) // CACHE_LINE_BYTES
+    resident = [line * CACHE_LINE_BYTES for line in range(lines)]
+    kind = LineKind.DATA
+    for address in resident:
+        cache.fill(address, kind)
+    # Stride 7 is coprime with the line count: all sets visited, no
+    # trivially-predictable same-set streak.
+    addresses = [resident[(i * 7) % lines] for i in range(operations)]
+    lookup = cache.lookup
+
+    def timed() -> float:
+        start = time.perf_counter()
+        for address in addresses:
+            lookup(address, kind)
+        return time.perf_counter() - start
+
+    return timed
+
+
+def _micro_cache_fill(operations: int) -> Callable[[], float]:
+    """Miss-path (probe-miss then fill with victim selection): a
+    2x-capacity working set keeps the LRU reuse distance (16 tags/set)
+    above the associativity (8 ways), so steady state is ~100% fills."""
+    from repro.mem.address import CACHE_LINE_BYTES
+    from repro.mem.cache import Cache, LineKind
+
+    cache = Cache("micro-l2", 1 << 15, ways=8, latency=10, policy="lru")
+    lines = (1 << 15) // CACHE_LINE_BYTES
+    span = lines * 2
+    kind = LineKind.DATA
+    addresses = [((i * 7) % span) * CACHE_LINE_BYTES
+                 for i in range(operations)]
+    lookup = cache.lookup
+    fill = cache.fill
+
+    def timed() -> float:
+        start = time.perf_counter()
+        for address in addresses:
+            if not lookup(address, kind):
+                fill(address, kind)
+        return time.perf_counter() - start
+
+    return timed
+
+
+def _micro_tlb_lookup(operations: int) -> Callable[[], float]:
+    """Hit-path probes of a full 64-entry / 4-way L1 TLB."""
+    from repro.mem.address import Asid, PAGE_4K_BITS
+    from repro.tlb.tlb import Tlb, TlbEntry
+
+    tlb = Tlb("micro-l1d", entries=64, ways=4, latency=1)
+    asid = Asid(vm_id=0, process_id=0)
+    pages = [vpn << PAGE_4K_BITS for vpn in range(64)]
+    for virtual_address in pages:
+        tlb.insert(asid, virtual_address, TlbEntry(
+            frame_base=virtual_address >> PAGE_4K_BITS,
+            page_bits=PAGE_4K_BITS,
+        ))
+    addresses = [pages[(i * 7) % 64] for i in range(operations)]
+    lookup = tlb.lookup
+
+    def timed() -> float:
+        start = time.perf_counter()
+        for address in addresses:
+            lookup(asid, address)
+        return time.perf_counter() - start
+
+    return timed
+
+
+def _micro_walk(operations: int, native: bool) -> Callable[[], float]:
+    """Full page walks through a real radix table with a stub memory
+    accessor (fixed 4-cycle reference), so only walker + PSC + table
+    code is on the clock.  64 distinct 2 MB regions cycled against a
+    32-entry PDE cache keep the PDE level missing while PDP/PML4 hit —
+    the steady-state mix a real run sees."""
+    from repro.mem.address import Asid
+    from repro.vm.physical_memory import HostPhysicalMemory
+    from repro.vm.walker import PageWalker, VirtualMachine
+
+    host_memory = HostPhysicalMemory(num_vms=1)
+    vm = VirtualMachine(0, host_memory, native=native)
+    asid = Asid(vm_id=0, process_id=0)
+    regions = [region << 21 for region in range(64)]
+    for virtual_address in regions:
+        vm.ensure_mapped(asid.process_id, virtual_address)
+    walker = PageWalker(lambda address, kind, is_write: 4)
+    addresses = [regions[(i * 7) % 64] for i in range(operations)]
+
+    if native:
+        table = vm.guest_table(asid.process_id)
+        walk = walker.walk_native
+
+        def timed() -> float:
+            start = time.perf_counter()
+            for address in addresses:
+                walk(asid, table, address)
+            return time.perf_counter() - start
+    else:
+        walk = walker.walk_virtualized
+
+        def timed() -> float:
+            start = time.perf_counter()
+            for address in addresses:
+                walk(asid, vm, address)
+            return time.perf_counter() - start
+
+    return timed
+
+
+#: Ordered (component name, builder) pairs; builders do all setup outside
+#: the timed region and return a zero-arg callable yielding host seconds.
+MICRO_COMPONENTS: List[tuple] = [
+    ("cache.lookup", _micro_cache_lookup),
+    ("cache.fill", _micro_cache_fill),
+    ("tlb.lookup", _micro_tlb_lookup),
+    ("walk.native", lambda operations: _micro_walk(operations, native=True)),
+    ("walk.virtualized",
+     lambda operations: _micro_walk(operations, native=False)),
+]
+
+
+def run_micro_bench(
+    operations: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, object]:
+    """Time each datapath primitive in isolation; returns a document.
+
+    The document shares ``schema_version`` and the ``points`` shape with
+    :func:`run_bench` (so ``load_bench`` accepts it) but sets
+    ``"micro": true`` and reports ``ns_per_op`` / ``ops_per_second``
+    instead of simulation throughput.  Micro documents are informational:
+    they are not compared against the committed baseline.
+    """
+    count = operations if operations is not None else MICRO_OPERATIONS
+    points: List[Dict[str, object]] = []
+    for name, builder in MICRO_COMPONENTS:
+        if progress is not None:
+            progress(f"micro {name} x {count} ops")
+        elapsed = builder(count)()
+        points.append({
+            "point": name,
+            "operations": count,
+            "host_seconds": elapsed,
+            "ns_per_op": elapsed / count * 1e9 if count else 0.0,
+            "ops_per_second": count / elapsed if elapsed > 0 else 0.0,
+        })
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "micro": True,
+        "operations_per_point": count,
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "points": points,
+    }
+
+
+def format_micro_bench(document: Dict[str, object]) -> str:
+    """Human-readable table for one micro-benchmark document."""
+    lines = [
+        f"{'component':<20} {'ops':>9} {'seconds':>8} "
+        f"{'ns/op':>9} {'ops/s':>12}"
+    ]
+    for point in document.get("points", []):
+        lines.append(
+            f"{point['point']:<20} {point['operations']:>9} "
+            f"{point['host_seconds']:>8.3f} "
+            f"{point['ns_per_op']:>9,.0f} "
+            f"{point['ops_per_second']:>12,.0f}"
+        )
+    return "\n".join(lines)
 
 
 def write_bench(

@@ -15,34 +15,67 @@ replacement policy lets the two streams thrash each other (paper Section
   simulator to produce Figure 3;
 * optional DIP set-dueling insertion (the Figure 13 comparison scheme).
 
-Internally each set is a ``{tag: way}`` dict plus parallel per-way arrays
-(tag/dirty/kind); this is the simulator's hottest structure, so it avoids
-per-line objects.
+Internally each set is a ``{tag: way}`` dict plus *flat* preallocated
+tag/dirty/kind arrays indexed ``set_index * ways + way``; this is the
+simulator's hottest structure, so it avoids per-line objects, per-set
+sublists and tuple-returning index helpers on the datapath.  Replacement
+bookkeeping runs through monomorphic fast paths bound at construction
+(``repro.mem.replacement.fast_paths``); the abstract policy object stays
+attached as the reference oracle and can be forced with
+``fast_path=False`` (or globally via :func:`set_fast_paths`) for
+equivalence testing.
+
+``LineKind`` is an ``IntEnum`` so the datapath can use a kind directly as
+an index and a truth value (``DATA`` is falsy, ``TLB`` truthy) without
+paying the ``Enum.value`` descriptor per access.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from enum import Enum
+from enum import IntEnum
+from itertools import chain
 from typing import Dict, List, Optional
 
 from repro.mem.address import CACHE_LINE_BYTES
-from repro.mem.replacement import ReplacementPolicy, make_policy
+from repro.mem.replacement import ReplacementPolicy, fast_paths, make_policy
 
 
-class LineKind(Enum):
+class LineKind(IntEnum):
     """What a cache line holds: program data or a translation entry."""
 
     DATA = 0
     TLB = 1
 
 
+#: Cheap int -> member table for the datapath (``LineKind(value)`` runs
+#: the enum ``__call__`` machinery; a tuple index does not).
+_KINDS = (LineKind.DATA, LineKind.TLB)
+
 _INVALID = -1
 
+#: Module default for new caches; tests flip it to pin the generic
+#: reference path (see :func:`set_fast_paths`).
+_FAST_PATHS_ENABLED = True
 
-@dataclass
+
+def set_fast_paths(enabled: bool) -> bool:
+    """Set the module-wide fast-path default; returns the previous value.
+
+    Only affects caches constructed afterwards — existing caches keep the
+    datapath they were built with.
+    """
+    global _FAST_PATHS_ENABLED
+    previous = _FAST_PATHS_ENABLED
+    _FAST_PATHS_ENABLED = bool(enabled)
+    return previous
+
+
+@dataclass(frozen=False)
 class Eviction:
     """A victim pushed out by a fill, for writeback propagation."""
+
+    __slots__ = ("address", "kind", "dirty")
 
     address: int
     kind: LineKind
@@ -121,6 +154,7 @@ class Cache:
         policy: str | ReplacementPolicy = "lru",
         line_bytes: int = CACHE_LINE_BYTES,
         dip: bool = False,
+        fast_path: Optional[bool] = None,
     ):
         if size_bytes % (ways * line_bytes):
             raise ValueError(
@@ -143,27 +177,65 @@ class Cache:
         else:
             self.policy = make_policy(policy, ways)
         sets = self.num_sets
+        lines = sets * ways
         self._tag_to_way: List[Dict[int, int]] = [dict() for _ in range(sets)]
-        self._way_tag: List[List[int]] = [[_INVALID] * ways for _ in range(sets)]
-        self._way_dirty: List[List[bool]] = [[False] * ways for _ in range(sets)]
-        # Kinds stored as LineKind.value ints for speed.
-        self._way_kind: List[List[int]] = [[0] * ways for _ in range(sets)]
+        # Flat parallel arrays, indexed ``set_index * ways + way``.
+        self._way_tag: List[int] = [_INVALID] * lines
+        self._way_dirty: List[bool] = [False] * lines
+        # Kinds stored as plain ints (LineKind is an IntEnum) for speed.
+        self._way_kind: List[int] = [0] * lines
         self._recency = [self.policy.new_set_state() for _ in range(sets)]
         self._free_count: List[int] = [ways] * sets
         self.stats = CacheStats()
         # Partition: number of ways reserved for DATA lines; None = unpartitioned.
         self._data_ways: Optional[int] = None
         self._partition_ranges = (range(ways), range(ways))
+        self._partition_bounds = ((0, ways), (0, ways))
         self.dip = DipDueler() if dip else None
         # Most recent access's estimated LRU stack position, for profilers
         # running in pseudo-LRU estimation mode (paper Section 3.4).
         self.last_stack_position: Optional[int] = None
+        if fast_path is None:
+            fast_path = _FAST_PATHS_ENABLED
+        bundle = fast_paths(self.policy) if fast_path else None
+        self.fast_path = bundle is not None
+        if bundle is not None:
+            self._hit_update, self._select_victim, self._insert = bundle
+        else:
+            self._hit_update, self._select_victim, self._insert = (
+                self._generic_bundle()
+            )
+
+    def _generic_bundle(self):
+        """Reference datapath: the abstract policy behind fast-path shims."""
+        policy = self.policy
+        stack_position = policy.stack_position
+        touch = policy.touch
+        policy_victim = policy.victim
+        policy_insert = policy.insert
+
+        def hit_update(state, way):
+            position = stack_position(state, way)
+            touch(state, way)
+            return position
+
+        def victim(state, lo, hi):
+            return policy_victim(state, range(lo, hi))
+
+        def insert(state, way, at_mru):
+            policy_insert(state, way, at_mru=at_mru)
+
+        return hit_update, victim, insert
 
     # ------------------------------------------------------------------
     # Geometry helpers
     # ------------------------------------------------------------------
     def index_of(self, address: int):
-        """Return (set index, tag) for a byte address."""
+        """Return (set index, tag) for a byte address.
+
+        Kept for tests and cold paths; the datapath inlines this math to
+        avoid the tuple allocation.
+        """
         line = address >> self._line_shift
         return line & self._set_mask, line >> self._set_bits
 
@@ -188,54 +260,56 @@ class Cache:
         self._data_ways = data_ways
         if data_ways is None:
             self._partition_ranges = (range(self.ways), range(self.ways))
+            self._partition_bounds = ((0, self.ways), (0, self.ways))
         else:
             self._partition_ranges = (
                 range(data_ways),
                 range(data_ways, self.ways),
             )
+            self._partition_bounds = ((0, data_ways), (data_ways, self.ways))
 
     def _candidate_ways(self, kind: LineKind) -> range:
-        return self._partition_ranges[kind.value]
+        return self._partition_ranges[kind]
 
     # ------------------------------------------------------------------
     # Datapath
     # ------------------------------------------------------------------
-    def lookup(self, address: int, kind: LineKind, is_write: bool = False) -> bool:
+    def lookup(self, address: int, kind: int, is_write: bool = False) -> bool:
         """Probe for ``address``; update recency and stats.
 
         All ways are scanned regardless of the partition, because lines may
         sit in the other partition's ways after a repartition (paper
-        Section 3.1, Cache Lookup).
+        Section 3.1, Cache Lookup).  ``kind`` may be a :class:`LineKind`
+        or its plain int value.
         """
         line = address >> self._line_shift
         set_index = line & self._set_mask
-        tag = line >> self._set_bits
-        way = self._tag_to_way[set_index].get(tag)
+        way = self._tag_to_way[set_index].get(line >> self._set_bits)
         stats = self.stats
         if way is not None:
-            recency = self._recency[set_index]
-            self.last_stack_position = self.policy.stack_position(recency, way)
-            self.policy.touch(recency, way)
+            self.last_stack_position = self._hit_update(
+                self._recency[set_index], way
+            )
             if is_write:
-                self._way_dirty[set_index][way] = True
+                self._way_dirty[set_index * self.ways + way] = True
             stats.hits += 1
-            if kind is LineKind.DATA:
-                stats.data_hits += 1
-            else:
+            if kind:
                 stats.tlb_hits += 1
+            else:
+                stats.data_hits += 1
             return True
         self.last_stack_position = None
         stats.misses += 1
-        if kind is LineKind.DATA:
-            stats.data_misses += 1
-        else:
+        if kind:
             stats.tlb_misses += 1
+        else:
+            stats.data_misses += 1
         if self.dip is not None:
             self.dip.record_miss(set_index)
         return False
 
     def fill(
-        self, address: int, kind: LineKind, dirty: bool = False
+        self, address: int, kind: int, dirty: bool = False
     ) -> Optional[Eviction]:
         """Install ``address`` after a miss; return the victim if valid.
 
@@ -246,44 +320,47 @@ class Cache:
         set_index = line & self._set_mask
         tag = line >> self._set_bits
         tags = self._tag_to_way[set_index]
-        way_tag = self._way_tag[set_index]
-        candidates = self._partition_ranges[kind.value]
+        way_tag = self._way_tag
+        ways = self.ways
+        base = set_index * ways
+        lo, hi = self._partition_bounds[kind]
         victim_way = None
         if self._free_count[set_index]:
-            for way in candidates:
-                if way_tag[way] == _INVALID:
+            for way in range(lo, hi):
+                if way_tag[base + way] == _INVALID:
                     victim_way = way
                     self._free_count[set_index] -= 1
                     break
         if victim_way is None:
-            victim_way = self.policy.victim(self._recency[set_index], candidates)
+            victim_way = self._select_victim(self._recency[set_index], lo, hi)
         evicted = None
-        old_tag = way_tag[victim_way]
+        slot = base + victim_way
+        old_tag = way_tag[slot]
         if old_tag != _INVALID:
             del tags[old_tag]
-            old_dirty = self._way_dirty[set_index][victim_way]
+            old_dirty = self._way_dirty[slot]
             victim_address = (
                 (old_tag << self._set_bits) | set_index
             ) << self._line_shift
             evicted = Eviction(
                 victim_address,
-                LineKind(self._way_kind[set_index][victim_way]),
+                _KINDS[self._way_kind[slot]],
                 old_dirty,
             )
             if old_dirty:
                 self.stats.writebacks += 1
-        way_tag[victim_way] = tag
+        way_tag[slot] = tag
         tags[tag] = victim_way
-        self._way_dirty[set_index][victim_way] = dirty
-        self._way_kind[set_index][victim_way] = kind.value
+        self._way_dirty[slot] = dirty
+        self._way_kind[slot] = kind & 1
         at_mru = True
         if self.dip is not None:
             at_mru = self.dip.insert_at_mru(set_index)
-        self.policy.insert(self._recency[set_index], victim_way, at_mru=at_mru)
+        self._insert(self._recency[set_index], victim_way, at_mru)
         self.stats.fills += 1
         return evicted
 
-    def write_back(self, address: int, kind: LineKind) -> Optional[Eviction]:
+    def write_back(self, address: int, kind: int) -> Optional[Eviction]:
         """Absorb a dirty victim from the level above.
 
         If the line is present it is just marked dirty; otherwise it is
@@ -292,10 +369,9 @@ class Cache:
         """
         line = address >> self._line_shift
         set_index = line & self._set_mask
-        tag = line >> self._set_bits
-        way = self._tag_to_way[set_index].get(tag)
+        way = self._tag_to_way[set_index].get(line >> self._set_bits)
         if way is not None:
-            self._way_dirty[set_index][way] = True
+            self._way_dirty[set_index * self.ways + way] = True
             return None
         return self.fill(address, kind, dirty=True)
 
@@ -310,8 +386,9 @@ class Cache:
         way = self._tag_to_way[set_index].pop(tag, None)
         if way is None:
             return False
-        self._way_tag[set_index][way] = _INVALID
-        self._way_dirty[set_index][way] = False
+        slot = set_index * self.ways + way
+        self._way_tag[slot] = _INVALID
+        self._way_dirty[slot] = False
         self._free_count[set_index] += 1
         return True
 
@@ -321,7 +398,7 @@ class Cache:
         way = self._tag_to_way[set_index].get(tag)
         if way is None:
             return None
-        return LineKind(self._way_kind[set_index][way])
+        return _KINDS[self._way_kind[set_index * self.ways + way]]
 
     # ------------------------------------------------------------------
     # Introspection (Figure 3 occupancy scan and friends)
@@ -336,13 +413,15 @@ class Cache:
         data_count = 0
         tlb_count = 0
         scanned_sets = 0
+        ways = self.ways
+        way_tag = self._way_tag
+        way_kind = self._way_kind
         for set_index in range(0, self.num_sets, step):
             scanned_sets += 1
-            way_tag = self._way_tag[set_index]
-            way_kind = self._way_kind[set_index]
-            for way in range(self.ways):
-                if way_tag[way] != _INVALID:
-                    if way_kind[way]:
+            base = set_index * ways
+            for slot in range(base, base + ways):
+                if way_tag[slot] != _INVALID:
+                    if way_kind[slot]:
                         tlb_count += 1
                     else:
                         data_count += 1
@@ -386,15 +465,28 @@ class Cache:
     def state_dict(self) -> dict:
         """Plain-data snapshot: tags, recency stacks, partition, stats.
 
-        Every policy's per-set recency state is a flat list, so a list
-        copy captures it; geometry (sets/ways/policy) is construction
-        state and is *not* serialized — ``load_state`` verifies it.
+        The snapshot keeps the *nested* per-set layout the pre-flat-array
+        format used (``way_tag[set_index][way]``), so snapshots and stores
+        written before the flat-array datapath stay loadable and new
+        snapshots stay byte-compatible with old readers.  Geometry
+        (sets/ways/policy) is construction state and is *not* serialized —
+        ``load_state`` verifies it.
         """
+        ways = self.ways
         return {
             "tag_to_way": [dict(tags) for tags in self._tag_to_way],
-            "way_tag": [list(tags) for tags in self._way_tag],
-            "way_dirty": [list(bits) for bits in self._way_dirty],
-            "way_kind": [list(kinds) for kinds in self._way_kind],
+            "way_tag": [
+                self._way_tag[base:base + ways]
+                for base in range(0, self.num_sets * ways, ways)
+            ],
+            "way_dirty": [
+                self._way_dirty[base:base + ways]
+                for base in range(0, self.num_sets * ways, ways)
+            ],
+            "way_kind": [
+                self._way_kind[base:base + ways]
+                for base in range(0, self.num_sets * ways, ways)
+            ],
             "recency": [list(state) for state in self._recency],
             "free_count": list(self._free_count),
             "data_ways": self._data_ways,
@@ -421,9 +513,9 @@ class Cache:
                 f"{self.name}: snapshot DIP state does not match configuration"
             )
         self._tag_to_way = [dict(tags) for tags in state["tag_to_way"]]
-        self._way_tag = [list(tags) for tags in way_tag]
-        self._way_dirty = [list(bits) for bits in state["way_dirty"]]
-        self._way_kind = [list(kinds) for kinds in state["way_kind"]]
+        self._way_tag = list(chain.from_iterable(way_tag))
+        self._way_dirty = list(chain.from_iterable(state["way_dirty"]))
+        self._way_kind = [int(kind) for kind in chain.from_iterable(state["way_kind"])]
         self._recency = [list(recency) for recency in state["recency"]]
         self._free_count = list(state["free_count"])
         self.set_partition(state["data_ways"])

@@ -227,6 +227,211 @@ class Rrip(ReplacementPolicy):
         state[way] = self.INSERT_RRPV if at_mru else self.MAX_RRPV
 
 
+# ----------------------------------------------------------------------
+# Monomorphic fast paths
+# ----------------------------------------------------------------------
+#
+# The abstract-method dispatch above is the *reference* implementation;
+# the cache datapath calls these specialized closures instead (bound once
+# at cache construction).  Each factory returns ``(hit_update, victim,
+# insert)`` where
+#
+# * ``hit_update(state, way) -> position`` fuses ``stack_position`` (on
+#   the pre-touch state, exactly as ``Cache.lookup`` orders the two
+#   calls) with ``touch``;
+# * ``victim(state, lo, hi)`` equals ``victim(state, range(lo, hi))``;
+# * ``insert(state, way, at_mru)`` equals the policy's ``insert``.
+#
+# Bit-identity with the generic path is load-bearing: the golden
+# equivalence suite (tests/test_golden_equivalence.py) diffs full
+# simulation results between the two, so any behavioral drift here is a
+# bug even when it looks like an optimization.
+
+
+def _lru_fast_paths(ways: int):
+    def hit_update(state: List[int], way: int) -> int:
+        position = state.index(way)
+        if position:
+            del state[position]
+            state.insert(0, way)
+        return position
+
+    def victim(state: List[int], lo: int, hi: int) -> int:
+        if hi - lo == ways:
+            return state[-1]
+        for way in reversed(state):
+            if lo <= way < hi:
+                return way
+        raise ValueError("candidates contain no valid way index")
+
+    def insert(state: List[int], way: int, at_mru: bool) -> None:
+        # Fills overwhelmingly replace the LRU way (the unpartitioned
+        # ``victim`` above returns ``state[-1]``), so test the tail first:
+        # a pop is O(1) where ``remove`` scans the whole list.
+        if state[-1] == way:
+            state.pop()
+        else:
+            state.remove(way)
+        if at_mru:
+            state.insert(0, way)
+        else:
+            state.append(way)
+
+    return hit_update, victim, insert
+
+
+def _nru_fast_paths(ways: int):
+    last = ways - 1
+
+    def hit_update(state: List[bool], way: int) -> int:
+        referenced = sum(state)
+        if state[way]:
+            position = max(0, referenced // 2 - (1 if way == 0 else 0)) % ways
+        else:
+            position = referenced + (ways - referenced) // 2
+            if position > last:
+                position = last
+        state[way] = True
+        if all(state):
+            for i in range(ways):
+                if i != way:
+                    state[i] = False
+        return position
+
+    def victim(state: List[bool], lo: int, hi: int) -> int:
+        for way in range(lo, hi):
+            if not state[way]:
+                return way
+        for way in range(lo, hi):
+            state[way] = False
+        return lo
+
+    def insert(state: List[bool], way: int, at_mru: bool) -> None:
+        state[way] = True
+        if all(state):
+            for i in range(ways):
+                if i != way:
+                    state[i] = False
+
+    return hit_update, victim, insert
+
+
+def _plru_fast_paths(ways: int):
+    levels = ways.bit_length() - 1
+    last = ways - 1
+
+    def hit_update(state: List[int], way: int) -> int:
+        # Reads each path node before overwriting it, so the position
+        # matches stack_position-then-touch on the same pre-touch state.
+        position = 0
+        span = ways
+        node = 0
+        for level in range(levels - 1, -1, -1):
+            went_right = (way >> level) & 1
+            span >>= 1
+            if state[node] == went_right:
+                position += span
+            state[node] = 0 if went_right else 1
+            node = 2 * node + 1 + went_right
+        return position if position < last else last
+
+    def age_of(state: List[int], way: int) -> int:
+        position = 0
+        span = ways
+        node = 0
+        for level in range(levels - 1, -1, -1):
+            went_right = (way >> level) & 1
+            span >>= 1
+            if state[node] == went_right:
+                position += span
+            node = 2 * node + 1 + went_right
+        return position
+
+    def victim(state: List[int], lo: int, hi: int) -> int:
+        if hi - lo == ways:
+            # Unpartitioned: the leaf every tree bit points toward is the
+            # unique way at age ways-1, i.e. the argmax the generic path
+            # computes.
+            way = 0
+            node = 0
+            for level in range(levels - 1, -1, -1):
+                went_right = state[node]
+                way |= went_right << level
+                node = 2 * node + 1 + went_right
+            return way
+        best_way = lo
+        best_age = -1
+        for way in range(lo, hi):
+            age = age_of(state, way)
+            if age > best_age:
+                best_age = age
+                best_way = way
+        return best_way
+
+    def insert(state: List[int], way: int, at_mru: bool) -> None:
+        node = 0
+        for level in range(levels - 1, -1, -1):
+            went_right = (way >> level) & 1
+            state[node] = 0 if went_right else 1
+            node = 2 * node + 1 + went_right
+
+    return hit_update, victim, insert
+
+
+def _rrip_fast_paths(ways: int):
+    last = ways - 1
+    max_rrpv = Rrip.MAX_RRPV
+    insert_rrpv = Rrip.INSERT_RRPV
+
+    def hit_update(state: List[int], way: int) -> int:
+        rrpv = state[way]
+        younger = 0
+        peers = -1
+        for value in state:
+            if value < rrpv:
+                younger += 1
+            elif value == rrpv:
+                peers += 1
+        position = younger + peers // 2
+        state[way] = 0
+        return position if position < last else last
+
+    def victim(state: List[int], lo: int, hi: int) -> int:
+        while True:
+            for way in range(lo, hi):
+                if state[way] >= max_rrpv:
+                    return way
+            for way in range(lo, hi):
+                state[way] += 1
+
+    def insert(state: List[int], way: int, at_mru: bool) -> None:
+        state[way] = insert_rrpv if at_mru else max_rrpv
+
+    return hit_update, victim, insert
+
+
+_FAST_PATH_FACTORIES = {
+    TrueLRU: _lru_fast_paths,
+    NRU: _nru_fast_paths,
+    TreePLRU: _plru_fast_paths,
+    Rrip: _rrip_fast_paths,
+}
+
+
+def fast_paths(policy: ReplacementPolicy):
+    """``(hit_update, victim, insert)`` specialized for ``policy``, or None.
+
+    Keyed on the policy's *exact* type: subclasses (and third-party
+    policies) fall back to the generic reference path, which keeps the
+    reference oracle authoritative for anything not covered by the
+    equivalence suite.
+    """
+    factory = _FAST_PATH_FACTORIES.get(type(policy))
+    if factory is None:
+        return None
+    return factory(policy.ways)
+
+
 def make_policy(name: str, ways: int) -> ReplacementPolicy:
     """Build a policy by name: ``lru``, ``nru``, ``plru`` or ``rrip``."""
     table = {"lru": TrueLRU, "nru": NRU, "plru": TreePLRU, "rrip": Rrip}

@@ -22,6 +22,7 @@ The driver is also where the robustness machinery plugs in:
 
 from __future__ import annotations
 
+import gc
 import hashlib
 import time
 from collections import deque
@@ -40,7 +41,7 @@ from repro.checkpoint import (
     latest_checkpoint,
     read_checkpoint,
 )
-from repro.mem.address import Asid
+from repro.mem.address import Asid, PAGE_4K_BITS
 from repro.sim.config import SystemConfig
 from repro.sim.scheduler import Context, ContextScheduler
 from repro.sim.stats import SimulationResult
@@ -289,9 +290,16 @@ def run_simulation(
             for contexts, states in zip(per_core, document["contexts"]):
                 for context, state in zip(contexts, states):
                     context.load_state(state)
-                    # Streams are deterministic generators: replaying the
-                    # consumed prefix puts them exactly where they were.
-                    deque(islice(context.stream, context.consumed), maxlen=0)
+                    # Streams are deterministic: fast-forwarding by the
+                    # consumed count puts them exactly where they were.
+                    # Batched streams skip whole blocks (O(consumed/BATCH)
+                    # list hops); plain generators (e.g. traces) fall back
+                    # to item-at-a-time draining.
+                    skip = getattr(context.stream, "skip", None)
+                    if skip is not None:
+                        skip(context.consumed)
+                    else:
+                        deque(islice(context.stream, context.consumed), maxlen=0)
             executed = document["engine"]["executed"]
             warm = document["engine"]["warm"]
             next_sample = document["engine"]["next_sample"]
@@ -343,6 +351,12 @@ def run_simulation(
     if progress is not None and progress_every is None:
         progress_every = max(_CORE_BATCH * config.cores, total_accesses // 20)
     next_progress = progress_every if progress is not None else None
+    # The hot loop allocates only refcount-collected objects (per-turn
+    # slices, eviction records); pausing the cycle detector removes its
+    # periodic sweeps from the per-access cost without changing results.
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
     try:
         while executed < total_accesses:
             for core_id in range(config.cores):
@@ -353,9 +367,22 @@ def run_simulation(
                 access = system.access
                 ensure = context.ensure_mapped
                 asid = context.asid
-                for _ in range(_CORE_BATCH):
-                    virtual_address, is_write = next(stream)
-                    ensure(virtual_address)
+                take = getattr(stream, "take", None)
+                if take is not None:
+                    pairs = take(_CORE_BATCH)
+                else:
+                    pairs = [next(stream) for _ in range(_CORE_BATCH)]
+                mapped = context._mapped
+                huge_limit = context.huge_va_limit
+                for virtual_address, is_write in pairs:
+                    # Inlined ``Context.ensure_mapped`` fast path: the key
+                    # math must match it exactly (page number << 1 | huge).
+                    if virtual_address < huge_limit:
+                        key = (virtual_address >> 21) << 1 | 1
+                    else:
+                        key = (virtual_address >> PAGE_4K_BITS) << 1
+                    if key not in mapped:
+                        ensure(virtual_address)
                     access(core_id, asid, virtual_address, is_write)
                 context.consumed += _CORE_BATCH
                 scheduler.maybe_switch(core_id, core.stats.cycles)
@@ -479,6 +506,8 @@ def run_simulation(
             snapshot_path=snapshot_path,
         ) from None
     finally:
+        if gc_was_enabled:
+            gc.enable()
         if watchdog is not None:
             watchdog.stop()
         if monitor is not None:

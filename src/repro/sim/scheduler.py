@@ -40,8 +40,11 @@ class Context:
         return 21 if virtual_address < self.huge_va_limit else PAGE_4K_BITS
 
     def ensure_mapped(self, virtual_address: int) -> None:
-        """Demand-map the page on first touch (cheap set check afterwards)."""
-        page_bits = self.page_bits(virtual_address)
+        """Demand-map the page on first touch (cheap set check afterwards).
+
+        Runs once per simulated access, so the ``page_bits`` policy is
+        inlined rather than called."""
+        page_bits = 21 if virtual_address < self.huge_va_limit else PAGE_4K_BITS
         key = (virtual_address >> page_bits) << 1 | (page_bits == 21)
         if key in self._mapped:
             return

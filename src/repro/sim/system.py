@@ -19,19 +19,27 @@ MSHR model's achieved memory-level parallelism.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from functools import partial
+from itertools import chain
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.criticality import CriticalityEstimator, CriticalityInputs
 from repro.core.partitioning import PartitionController, unit_weights
 from repro.core.schemes import PartitionMode
-from repro.mem.address import Asid, PAGE_4K_BITS, PAGE_2M_BITS, line_address
+from repro.mem.address import (
+    Asid,
+    CACHE_LINE_BYTES,
+    PAGE_4K_BITS,
+    PAGE_2M_BITS,
+    line_address,
+)
 from repro.mem.cache import Cache, LineKind
 from repro.mem.dram import DDR4_2133, DIE_STACKED, DramChannel
 from repro.mem.mshr import MshrModel
 from repro.sim.config import SystemConfig
 from repro.sim.stats import CoreStats, OccupancySample, SimulationResult
 from repro.telemetry import Telemetry
-from repro.telemetry.accounting import quantize_cycles
+from repro.telemetry.accounting import CYCLE_QUANTUM, quantize_cycles
 from repro.telemetry.events import (
     EVENT_POM_LOOKUP,
     EVENT_SHOOTDOWN,
@@ -48,6 +56,15 @@ from repro.vm.walker import PageWalker, VirtualMachine
 #: Cold-start page-walk estimate used by the criticality estimator before
 #: any walk has completed.
 _DEFAULT_WALK_CYCLES = 500.0
+
+#: Inlined ``line_address`` mask for the per-access datapath.
+_LINE_MASK = ~(CACHE_LINE_BYTES - 1)
+
+#: Inverse of the accounting cycle quantum (1024.0): the per-access MSHR
+#: stall quantization is inlined in :meth:`System.access` with exactly
+#: ``round(x * _CYCLE_SCALE) / _CYCLE_SCALE`` — bit-identical to
+#: :func:`~repro.telemetry.accounting.quantize_cycles`.
+_CYCLE_SCALE = 1.0 / CYCLE_QUANTUM
 
 
 @dataclass
@@ -147,8 +164,25 @@ class System:
         self.tlb_ref_levels = {"l2": 0, "l3": 0, "dram": 0}
         if telemetry is not None and telemetry.metrics is not None:
             self._register_metrics(telemetry.metrics)
+        # Bind bare datapath variants when the corresponding hooks are
+        # off.  This makes PR 1's "None keeps every hook free" contract
+        # structural: the disabled path no longer even tests for the
+        # hooks at access time.  Profiler wrappers (below) compose on
+        # top, so a metrics-only Telemetry still profiles the bare path.
+        if self.accounting is None:
+            self._mem_from_l2 = self._mem_from_l2_bare
+            self.access = self._access_bare
+        if telemetry is None:
+            self._walk = self._walk_bare
         if self._profiler is not None:
             self._install_profiler_wrappers()
+        # Rebind each walker's memory accessor from the construction-time
+        # lambda to a partial over the *resolved* ``_mem_from_l2`` (bare
+        # or profiler-wrapped, chosen above).  A partial removes one
+        # Python frame from every walk memory reference — the single
+        # hottest call edge after the caches themselves.
+        for core in self.cores:
+            core.walker._access = partial(self._mem_from_l2, core)
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -320,10 +354,14 @@ class System:
     # Criticality counter snapshots (paper Section 3.2: read from PMCs)
     # ------------------------------------------------------------------
     def _walk_mean(self) -> float:
-        walks = sum(core.walker.stats.walks for core in self.cores)
+        walks = 0
+        total = 0
+        for core in self.cores:
+            stats = core.walker.stats
+            walks += stats.walks
+            total += stats.total_latency
         if not walks:
             return _DEFAULT_WALK_CYCLES
-        total = sum(core.walker.stats.total_latency for core in self.cores)
         return total / walks
 
     def _pom_hit_rate(self) -> float:
@@ -367,53 +405,133 @@ class System:
         return self.ddr.access(address)
 
     def _mem_from_l2(
-        self, core: CoreState, address: int, kind: LineKind, is_write: bool
+        self, core: CoreState, address: int, kind: int, is_write: bool
     ) -> int:
-        """A reference entering the core's L2 data cache (Figure 6 path)."""
-        line = line_address(address)
+        """A reference entering the core's L2 data cache (Figure 6 path).
+
+        This is the hottest System method: ``line_address`` and the
+        controllers' set/tag math are inlined (no tuple-returning
+        ``index_of``), and ``kind`` is used as a plain int (``LineKind``
+        is an ``IntEnum``; ``TLB`` is truthy).
+        """
+        line = address & _LINE_MASK
         l2 = core.l2
         acct = self.accounting
+        # ``charge_level`` inlined at each serving level: the context
+        # cannot change inside one reference, so the prefix/split pair is
+        # read once, and a suppressed (None-prefix) context books nothing
+        # — exactly the method's semantics, minus three calls per miss.
+        if acct is not None:
+            prefix = acct._prefix
+            if prefix is None:
+                acct = None
+            else:
+                split = acct._split
+                current = acct._current
         latency = l2.latency
         if acct is not None:
-            acct.charge_level(".l2", l2.latency)
+            component = prefix + ".l2" if split else prefix
+            try:
+                current[component] += latency
+            except KeyError:
+                current[component] = latency
+            acct.charged += latency
         hit = l2.lookup(line, kind, is_write)
-        if core.l2_controller is not None:
-            set_index, tag = l2.index_of(line)
-            core.l2_controller.observe(kind, set_index, tag, hit)
+        controller = core.l2_controller
+        if controller is not None:
+            line_no = line >> l2._line_shift
+            controller.observe(
+                kind, line_no & l2._set_mask, line_no >> l2._set_bits, hit
+            )
         if hit:
-            if kind is LineKind.TLB:
+            if kind:
                 self.tlb_ref_levels["l2"] += 1
             return latency
-        latency += self.l3.latency
+        l3 = self.l3
+        l3_latency = l3.latency
+        latency += l3_latency
         if acct is not None:
-            acct.charge_level(".l3", self.l3.latency)
-        l3_hit = self.l3.lookup(line, kind, False)
-        if self.l3_controller is not None:
-            set_index, tag = self.l3.index_of(line)
-            self.l3_controller.observe(kind, set_index, tag, l3_hit)
-        if kind is LineKind.TLB:
+            component = prefix + ".l3" if split else prefix
+            try:
+                current[component] += l3_latency
+            except KeyError:
+                current[component] = l3_latency
+            acct.charged += l3_latency
+        l3_hit = l3.lookup(line, kind, False)
+        controller = self.l3_controller
+        if controller is not None:
+            line_no = line >> l3._line_shift
+            controller.observe(
+                kind, line_no & l3._set_mask, line_no >> l3._set_bits, l3_hit
+            )
+        if kind:
             self.tlb_ref_levels["l3" if l3_hit else "dram"] += 1
         if not l3_hit:
             dram_latency = self._dram_access(line)
             latency += dram_latency
             if acct is not None:
-                acct.charge_level(".dram", dram_latency)
+                component = prefix + ".dram" if split else prefix
+                try:
+                    current[component] += dram_latency
+                except KeyError:
+                    current[component] = dram_latency
+                acct.charged += dram_latency
             # Dirty L3 victims drain to DRAM through the write buffer; no
             # latency is charged on the demand path.
-            self.l3.fill(line, kind)
+            l3.fill(line, kind)
         evicted = l2.fill(line, kind, dirty=is_write)
         if evicted is not None and evicted.dirty:
-            self.l3.write_back(evicted.address, evicted.kind)
+            l3.write_back(evicted.address, evicted.kind)
+        return latency
+
+    def _mem_from_l2_bare(
+        self, core: CoreState, address: int, kind: int, is_write: bool
+    ) -> int:
+        """:meth:`_mem_from_l2` with the cycle-accounting hooks compiled
+        out; bound over it at construction when no accountant exists.
+        Must stay result-identical (the golden-equivalence suite compares
+        instrumented and bare runs through the public results)."""
+        line = address & _LINE_MASK
+        l2 = core.l2
+        latency = l2.latency
+        hit = l2.lookup(line, kind, is_write)
+        controller = core.l2_controller
+        if controller is not None:
+            line_no = line >> l2._line_shift
+            controller.observe(
+                kind, line_no & l2._set_mask, line_no >> l2._set_bits, hit
+            )
+        if hit:
+            if kind:
+                self.tlb_ref_levels["l2"] += 1
+            return latency
+        l3 = self.l3
+        latency += l3.latency
+        l3_hit = l3.lookup(line, kind, False)
+        controller = self.l3_controller
+        if controller is not None:
+            line_no = line >> l3._line_shift
+            controller.observe(
+                kind, line_no & l3._set_mask, line_no >> l3._set_bits, l3_hit
+            )
+        if kind:
+            self.tlb_ref_levels["l3" if l3_hit else "dram"] += 1
+        if not l3_hit:
+            latency += self._dram_access(line)
+            l3.fill(line, kind)
+        evicted = l2.fill(line, kind, dirty=is_write)
+        if evicted is not None and evicted.dirty:
+            l3.write_back(evicted.address, evicted.kind)
         return latency
 
     def _data_access(self, core: CoreState, address: int, is_write: bool) -> int:
         """A demand data reference from the core (L1D first)."""
-        line = line_address(address)
+        line = address & _LINE_MASK
         l1d = core.l1d
-        if l1d.lookup(line, LineKind.DATA, is_write):
+        if l1d.lookup(line, 0, is_write):
             return l1d.latency
-        latency = l1d.latency + self._mem_from_l2(core, line, LineKind.DATA, False)
-        evicted = l1d.fill(line, LineKind.DATA, dirty=is_write)
+        latency = l1d.latency + self._mem_from_l2(core, line, 0, False)
+        evicted = l1d.fill(line, 0, dirty=is_write)
         if evicted is not None and evicted.dirty:
             core.l2.write_back(evicted.address, evicted.kind)
         return latency
@@ -426,8 +544,12 @@ class System:
         core.stats.page_walks += 1
         acct = self.accounting
         # The walker sets its own per-level charging contexts; save the
-        # caller's (POM/TSB/none) and put it back afterwards.
-        saved = acct.context(None) if acct is not None else None
+        # caller's (POM/TSB/none) and put it back afterwards (inlined
+        # ``context(None)``/``restore``).
+        if acct is not None:
+            saved = (acct._prefix, acct._split)
+            acct._prefix = None
+            acct._split = False
         prof = self._profiler
         if prof is not None:
             with prof.scope("walker"):
@@ -435,7 +557,7 @@ class System:
         else:
             result = self._do_walk(core, vm, asid, virtual_address)
         if acct is not None:
-            acct.restore(saved)
+            acct._prefix, acct._split = saved
         tel = self.telemetry
         if tel is not None:
             if tel.tracer is not None:
@@ -449,6 +571,20 @@ class System:
                 )
             if self._walk_hist is not None:
                 self._walk_hist.record(result.latency)
+        self._last_walk_latency = result.latency
+        return TlbEntry(
+            frame_base=result.translation.frame_base,
+            page_bits=result.translation.page_bits,
+        )
+
+    def _walk_bare(
+        self, core: CoreState, asid: Asid, virtual_address: int
+    ) -> TlbEntry:
+        """:meth:`_walk` without telemetry/accounting/profiler hooks;
+        bound over it at construction when no telemetry bundle exists."""
+        vm = self.vms[asid.vm_id]
+        core.stats.page_walks += 1
+        result = self._do_walk(core, vm, asid, virtual_address)
         self._last_walk_latency = result.latency
         return TlbEntry(
             frame_base=result.translation.frame_base,
@@ -476,10 +612,15 @@ class System:
         entry = None
         hit_bits = None
         for page_bits in pom.lookup_order(asid):
-            set_addr = pom.set_address(asid, virtual_address, page_bits)
+            # Fused content-probe + set-address: one hash instead of two.
+            # The POM content and the cache traffic are independent
+            # structures, so probing before the memory reference is
+            # result-identical to the old probe-after ordering.
+            entry, set_addr = pom.probe_with_address(
+                asid, virtual_address, page_bits
+            )
             latency += self._mem_from_l2(core, set_addr, LineKind.TLB, False)
             probes += 1
-            entry = pom.probe(asid, virtual_address, page_bits)
             if entry is not None:
                 hit_bits = page_bits
                 break
@@ -683,10 +824,18 @@ class System:
         self, core: CoreState, asid: Asid, virtual_address: int
     ) -> Tuple[int, TlbEntry]:
         """Service an L1 TLB miss; returns (stall cycles, translation)."""
-        latency = core.l2_tlb.latency
-        if self.accounting is not None:
-            self.accounting.charge("tlb.l2tlb", core.l2_tlb.latency)
-        entry = core.l2_tlb.lookup(asid, virtual_address)
+        l2_tlb = core.l2_tlb
+        latency = l2_tlb.latency
+        acct = self.accounting
+        if acct is not None:
+            current = acct._current
+            try:
+                current["tlb.l2tlb"] += latency
+            except KeyError:
+                current["tlb.l2tlb"] = latency
+            acct.charged += latency
+        entry = l2_tlb.lookup(asid, virtual_address)
+        l1_pair = core.l1_tlb
         if entry is not None:
             if core.prefetcher is not None:
                 key = (
@@ -696,11 +845,19 @@ class System:
                 if key in self._prefetched:
                     self._prefetched.discard(key)
                     core.prefetcher.credit_hit()
-            core.l1_tlb.insert(asid, virtual_address, entry)
+            # L1 pair insert dispatched inline (one call frame saved on
+            # every L1 TLB miss).
+            (
+                l1_pair.tlb_4k if entry.page_bits == PAGE_4K_BITS
+                else l1_pair.tlb_2m
+            ).insert(asid, virtual_address, entry)
             return latency, entry
         core.stats.l2_tlb_misses += 1
-        if self.telemetry is not None:
-            self.telemetry.emit(
+        tel = self.telemetry
+        # ``emit`` is a no-op without a tracer; skip the call (and its
+        # kwargs build) on every L2 TLB miss of untraced runs.
+        if tel is not None and tel.tracer is not None:
+            tel.emit(
                 EVENT_TLB_MISS, core.stats.cycles, core.core_id, level="l2"
             )
         if self.scheme.uses_pom_tlb:
@@ -711,8 +868,11 @@ class System:
             entry = self._walk(core, asid, virtual_address)
             extra = self._last_walk_latency
         latency += extra
-        core.l2_tlb.insert(asid, virtual_address, entry)
-        core.l1_tlb.insert(asid, virtual_address, entry)
+        l2_tlb.insert(asid, virtual_address, entry)
+        (
+            l1_pair.tlb_4k if entry.page_bits == PAGE_4K_BITS
+            else l1_pair.tlb_2m
+        ).insert(asid, virtual_address, entry)
         return latency, entry
 
     # ------------------------------------------------------------------
@@ -728,8 +888,17 @@ class System:
         cycles = self._base_cycles
         acct = self.accounting
         if acct is not None:
-            acct.begin(core_id, asid.vm_id)
-            acct.charge("base", cycles)
+            # ``begin`` guard inlined: consecutive accesses from one
+            # (core, VM) — the engine's whole batch — skip the call.
+            vm_id = asid.vm_id
+            if core_id != acct._core_id or vm_id != acct._vm_id:
+                acct.begin(core_id, vm_id)
+            current = acct._current
+            try:
+                current["base"] += cycles
+            except KeyError:
+                current["base"] = cycles
+            acct.charged += cycles
 
         entry = core.l1_tlb.lookup(asid, virtual_address)
         if entry is None:
@@ -751,17 +920,42 @@ class System:
         physical = (entry.frame_base << PAGE_4K_BITS) + (virtual_address & page_mask)
         if acct is not None:
             mark = acct.charged
-            saved = acct.context("data", split=True)
-        data_latency = self._data_access(core, physical, is_write)
+            # ``context``/``restore`` inlined around the data reference.
+            saved = (acct._prefix, acct._split)
+            acct._prefix = "data"
+            acct._split = True
+        # ``_data_access`` inlined (one call per simulated access saved);
+        # the L2 entry stays behind ``self._mem_from_l2`` so the profiler
+        # wrapper seam keeps working.
+        line = physical & _LINE_MASK
+        l1d = core.l1d
+        l1d_latency = l1d.latency
+        if l1d.lookup(line, 0, is_write):
+            data_latency = l1d_latency
+        else:
+            data_latency = l1d_latency + self._mem_from_l2(core, line, 0, False)
+            evicted = l1d.fill(line, 0, dirty=is_write)
+            if evicted is not None and evicted.dirty:
+                core.l2.write_back(evicted.address, evicted.kind)
         if acct is not None:
-            acct.restore(saved)
-        miss_latency = data_latency - core.l1d.latency
-        core.mshr.observe(miss_latency > 0)
+            acct._prefix, acct._split = saved
+        miss_latency = data_latency - l1d_latency
+        # ``MshrModel.observe`` + ``data_stall`` inlined (same arithmetic,
+        # no per-access method/property calls — see mem/mshr.py).
+        mshr = core.mshr
+        miss_rate = mshr._miss_rate
         stall = 0.0
         if miss_latency > 0:
-            stall = core.mshr.data_stall(miss_latency)
+            miss_rate += mshr.decay * (1.0 - miss_rate)
+            mshr._miss_rate = miss_rate
+            mlp = 1.0 + (
+                min(float(mshr.entries), mshr.workload_mlp) - 1.0
+            ) * miss_rate
+            stall = round(miss_latency / mlp * _CYCLE_SCALE) / _CYCLE_SCALE
             cycles += stall
             stats.data_stall_cycles += stall
+        else:
+            mshr._miss_rate = miss_rate + mshr.decay * (0.0 - miss_rate)
         if acct is not None:
             # The ledger booked the *raw* per-level latencies; only the
             # MLP-discounted stall hit the clock.  The (negative) credit
@@ -772,6 +966,56 @@ class System:
 
         stats.cycles += cycles
         stats.instructions += instructions
+        stats.memory_accesses += 1
+        self._total_accesses += 1
+
+    def _access_bare(
+        self, core_id: int, asid: Asid, virtual_address: int, is_write: bool
+    ) -> None:
+        """:meth:`access` with the cycle-accounting hooks compiled out;
+        bound over it at construction when no accountant exists."""
+        core = self.cores[core_id]
+        stats = core.stats
+        cycles = self._base_cycles
+
+        entry = core.l1_tlb.lookup(asid, virtual_address)
+        if entry is None:
+            stats.l1_tlb_misses += 1
+            stall, entry = self.translate_beyond_l1(core, asid, virtual_address)
+            cycles += stall
+            stats.translation_stall_cycles += stall
+
+        page_mask = (1 << entry.page_bits) - 1
+        physical = (entry.frame_base << PAGE_4K_BITS) + (virtual_address & page_mask)
+        # ``_data_access`` inlined, as in :meth:`access`.
+        line = physical & _LINE_MASK
+        l1d = core.l1d
+        l1d_latency = l1d.latency
+        if l1d.lookup(line, 0, is_write):
+            data_latency = l1d_latency
+        else:
+            data_latency = l1d_latency + self._mem_from_l2(core, line, 0, False)
+            evicted = l1d.fill(line, 0, dirty=is_write)
+            if evicted is not None and evicted.dirty:
+                core.l2.write_back(evicted.address, evicted.kind)
+        miss_latency = data_latency - l1d_latency
+        # ``MshrModel`` fast path inlined, as in :meth:`access`.
+        mshr = core.mshr
+        miss_rate = mshr._miss_rate
+        if miss_latency > 0:
+            miss_rate += mshr.decay * (1.0 - miss_rate)
+            mshr._miss_rate = miss_rate
+            mlp = 1.0 + (
+                min(float(mshr.entries), mshr.workload_mlp) - 1.0
+            ) * miss_rate
+            stall = round(miss_latency / mlp * _CYCLE_SCALE) / _CYCLE_SCALE
+            cycles += stall
+            stats.data_stall_cycles += stall
+        else:
+            mshr._miss_rate = miss_rate + mshr.decay * (0.0 - miss_rate)
+
+        stats.cycles += cycles
+        stats.instructions += self._instructions_per_access
         stats.memory_accesses += 1
         self._total_accesses += 1
 
@@ -842,7 +1086,7 @@ class System:
         self.l3.reset_stats()
         if self.pom is not None:
             self.pom.stats = PomTlbStats()
-        for tsb in list(self._guest_tsbs.values()) + list(self._host_tsbs.values()):
+        for tsb in chain(self._guest_tsbs.values(), self._host_tsbs.values()):
             tsb.stats = type(tsb.stats)()
         self.ddr.reset_stats()
         self.die_stacked.reset_stats()
@@ -881,13 +1125,31 @@ class System:
         return sample
 
     def result(self, workload_name: str = "") -> SimulationResult:
-        """Package the run's statistics."""
-        l2_misses = sum(core.l2.stats.misses for core in self.cores)
-        l2_accesses = sum(core.l2.stats.accesses for core in self.cores)
+        """Package the run's statistics.
+
+        All per-core aggregates are computed in one pass over the cores
+        rather than one ``sum(...)`` scan per statistic.
+        """
+        l2_misses = 0
+        l2_accesses = 0
+        walk_count = 0
+        walk_total = 0
+        instructions = 0
+        translation_stall = 0
+        data_stall = 0
+        for core in self.cores:
+            l2_stats = core.l2.stats
+            l2_misses += l2_stats.misses
+            l2_accesses += l2_stats.accesses
+            walker_stats = core.walker.stats
+            walk_count += walker_stats.walks
+            walk_total += walker_stats.total_latency
+            core_stats = core.stats
+            instructions += core_stats.instructions
+            translation_stall += core_stats.translation_stall_cycles
+            data_stall += core_stats.data_stall_cycles
         l3_stats = self.l3.stats
         data_total = l3_stats.data_hits + l3_stats.data_misses
-        walk_count = sum(core.walker.stats.walks for core in self.cores)
-        walk_total = sum(core.walker.stats.total_latency for core in self.cores)
         l2_timeline = []
         if self.cores[0].l2_controller is not None:
             l2_timeline = self.cores[0].l2_controller.tlb_fraction_timeline()
@@ -899,9 +1161,7 @@ class System:
             cpi_stack = self.accounting.build_stack(
                 scheme=self.scheme.value,
                 num_cores=len(self.cores),
-                instructions=sum(
-                    core.stats.instructions for core in self.cores
-                ),
+                instructions=instructions,
             )
         return SimulationResult(
             scheme=self.scheme.value,
@@ -930,12 +1190,8 @@ class System:
                 "tlb_refs_l2": float(self.tlb_ref_levels["l2"]),
                 "tlb_refs_l3": float(self.tlb_ref_levels["l3"]),
                 "tlb_refs_dram": float(self.tlb_ref_levels["dram"]),
-                "translation_stall": sum(
-                    core.stats.translation_stall_cycles for core in self.cores
-                ),
-                "data_stall": sum(
-                    core.stats.data_stall_cycles for core in self.cores
-                ),
+                "translation_stall": translation_stall,
+                "data_stall": data_stall,
             },
         )
 

@@ -159,8 +159,14 @@ class CycleAccountant:
             self._vm_id = vm_id
 
     def charge(self, component: str, cycles: float) -> None:
+        # try/except beats dict.get on the hot path: after the first touch
+        # of a component the key exists, so the common case is a plain
+        # subscript with no method call at all.
         current = self._current
-        current[component] = current.get(component, 0.0) + cycles
+        try:
+            current[component] += cycles
+        except KeyError:
+            current[component] = cycles
         self.charged += cycles
 
     def charge_level(self, suffix: str, cycles: float) -> None:
@@ -169,12 +175,19 @@ class CycleAccountant:
         ``suffix`` names the serving level (".l2"/".l3"/".dram"/".ntlb");
         split contexts append it to the prefix, flat contexts fold the
         whole latency into the prefix component, and a ``None`` prefix
-        (no context / suppressed) books nothing.
+        (no context / suppressed) books nothing.  The :meth:`charge` body
+        is inlined — this runs several times per simulated access.
         """
         prefix = self._prefix
         if prefix is None:
             return
-        self.charge(prefix + suffix if self._split else prefix, cycles)
+        component = prefix + suffix if self._split else prefix
+        current = self._current
+        try:
+            current[component] += cycles
+        except KeyError:
+            current[component] = cycles
+        self.charged += cycles
 
     def context(
         self, prefix: Optional[str], split: bool = False

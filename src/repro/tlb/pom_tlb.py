@@ -132,6 +132,31 @@ class PomTlb:
             pom_set.move_to_end(key)
         return entry
 
+    def probe_with_address(
+        self, asid: Asid, virtual_address: int, page_bits: int
+    ) -> Tuple[Optional[TlbEntry], int]:
+        """Fused :meth:`probe` + :meth:`set_address`: one hash, not two.
+
+        The datapath needs both the content answer and the set's line
+        address (the memory reference that models the probe's timing);
+        computing them together halves the hash-mix work per probe.
+        """
+        vpn = virtual_address >> page_bits
+        mixed = (vpn * _HASH_MULTIPLIER) & _HASH_MASK
+        mixed ^= (asid.vm_id & 0xFF) << 57 | (asid.process_id & 0xFF) << 49
+        index = (mixed >> 20) % self.sets_per_size
+        if page_bits == PAGE_2M_BITS:
+            index += self.sets_per_size
+        address = self.base_address + index * CACHE_LINE_BYTES
+        pom_set = self._contents.get(index)
+        if pom_set is None:
+            return None, address
+        key = (asid, vpn)
+        entry = pom_set.get(key)
+        if entry is not None:
+            pom_set.move_to_end(key)
+        return entry, address
+
     def lookup_order(self, asid: Asid) -> Tuple[int, int]:
         """Page sizes in probe order, predicted size first."""
         predicted = self.predictor.predict(asid)

@@ -88,7 +88,8 @@ def check_cache(cache: Cache) -> Iterator[InvariantViolation]:
     ways = cache.ways
     for set_index in range(cache.num_sets):
         tags = cache._tag_to_way[set_index]
-        way_tag = cache._way_tag[set_index]
+        base = set_index * ways
+        way_tag = cache._way_tag[base:base + ways]
         valid = [way for way in range(ways) if way_tag[way] != _INVALID]
         if len(tags) != len(valid):
             yield InvariantViolation(

@@ -24,6 +24,12 @@ from typing import Hashable, Optional
 
 from repro.mem.address import Asid, PAGE_4K_BITS, RADIX_LEVELS, RADIX_LEVEL_BITS
 
+#: VA shift that yields the PSC tag prefix for a walk resuming at level
+#: 1 (PDE), 2 (PDP) and 3 (PML4) — ``_prefix`` precomputed.
+_SHIFT_PDE = PAGE_4K_BITS + RADIX_LEVEL_BITS
+_SHIFT_PDP = PAGE_4K_BITS + 2 * RADIX_LEVEL_BITS
+_SHIFT_PML4 = PAGE_4K_BITS + 3 * RADIX_LEVEL_BITS
+
 
 class SmallFullyAssocCache:
     """Tiny fully-associative LRU cache used for PSC levels and nested TLB."""
@@ -128,12 +134,39 @@ class PagingStructureCache:
 
     def probe(self, asid: Asid, virtual_address: int) -> Optional[PscHit]:
         """Return the deepest partial-translation hit, if any."""
-        if self._pde.get((asid, self._prefix(virtual_address, 1))) is not None:
-            return PscHit(start_level=1, latency=self.config.latency)
-        if self._pdp.get((asid, self._prefix(virtual_address, 2))) is not None:
-            return PscHit(start_level=2, latency=self.config.latency)
-        if self._pml4.get((asid, self._prefix(virtual_address, 3))) is not None:
-            return PscHit(start_level=3, latency=self.config.latency)
+        level = self.probe_level(asid, virtual_address)
+        if level is None:
+            return None
+        return PscHit(start_level=level, latency=self.config.latency)
+
+    def probe_level(self, asid: Asid, virtual_address: int) -> Optional[int]:
+        """Hot-path :meth:`probe`: the resume level (or ``None``) with no
+        ``PscHit`` allocation and the per-cache ``get`` inlined — same
+        longest-prefix order, LRU updates and hit/miss counts."""
+        cache = self._pde
+        store = cache._store
+        key = (asid, virtual_address >> _SHIFT_PDE)
+        if store.get(key) is not None:
+            store.move_to_end(key)
+            cache.hits += 1
+            return 1
+        cache.misses += 1
+        cache = self._pdp
+        store = cache._store
+        key = (asid, virtual_address >> _SHIFT_PDP)
+        if store.get(key) is not None:
+            store.move_to_end(key)
+            cache.hits += 1
+            return 2
+        cache.misses += 1
+        cache = self._pml4
+        store = cache._store
+        key = (asid, virtual_address >> _SHIFT_PML4)
+        if store.get(key) is not None:
+            store.move_to_end(key)
+            cache.hits += 1
+            return 3
+        cache.misses += 1
         return None
 
     def install(self, asid: Asid, virtual_address: int, deepest_level: int) -> None:
@@ -144,11 +177,11 @@ class PagingStructureCache:
         cacheable; a 2 MB walk stops at level 2 so only PML4/PDP apply).
         """
         if deepest_level <= 1:
-            self._pde.put((asid, self._prefix(virtual_address, 1)), True)
+            self._pde.put((asid, virtual_address >> _SHIFT_PDE), True)
         if deepest_level <= 2:
-            self._pdp.put((asid, self._prefix(virtual_address, 2)), True)
+            self._pdp.put((asid, virtual_address >> _SHIFT_PDP), True)
         if deepest_level <= 3:
-            self._pml4.put((asid, self._prefix(virtual_address, 3)), True)
+            self._pml4.put((asid, virtual_address >> _SHIFT_PML4), True)
 
     def invalidate_all(self) -> None:
         self._pde.invalidate_all()

@@ -139,10 +139,15 @@ class PageTable:
     # Lookup
     # ------------------------------------------------------------------
     def lookup(self, virtual_address: int) -> Optional[Translation]:
-        """Translate without side effects; None if unmapped."""
+        """Translate without side effects; None if unmapped.
+
+        Hot path (demand-map checks and walk warm-up): the 9-bit
+        ``radix_index`` extraction is inlined — shift amount is
+        ``PAGE_4K_BITS + (level - 1) * 9 = 3 + 9 * level``.
+        """
         node = self.root
         for level in range(self.levels, 0, -1):
-            index = radix_index(virtual_address, level)
+            index = (virtual_address >> (3 + 9 * level)) & 0x1FF
             frame = node.leaves.get(index)
             if frame is not None:
                 page_bits = PAGE_4K_BITS + (level - 1) * 9
@@ -167,9 +172,10 @@ class PageTable:
             start_level = self.levels
         addresses: List[int] = []
         node = self.root
-        # Descend silently to the node at start_level.
+        # Descend silently to the node at start_level (radix_index inlined,
+        # as in ``lookup``: shift = 3 + 9 * level).
         for level in range(self.levels, start_level, -1):
-            index = radix_index(virtual_address, level)
+            index = (virtual_address >> (3 + 9 * level)) & 0x1FF
             if index in node.leaves:
                 # Huge-page leaf above the requested start level.
                 frame = node.leaves[index]
@@ -180,8 +186,8 @@ class PageTable:
                 return addresses, None
             node = child
         for level in range(start_level, 0, -1):
-            index = radix_index(virtual_address, level)
-            addresses.append(node.entry_address(index))
+            index = (virtual_address >> (3 + 9 * level)) & 0x1FF
+            addresses.append(node.base_address + index * 8)
             frame = node.leaves.get(index)
             if frame is not None:
                 page_bits = PAGE_4K_BITS + (level - 1) * 9

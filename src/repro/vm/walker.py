@@ -103,6 +103,11 @@ class VirtualMachine:
             self.host_table = PageTable(self._host_allocator, levels=levels)
         # Guest tables per process: gVA -> gPA (or VA -> hPA natively).
         self._guest_tables: Dict[int, PageTable] = {}
+        # Host (EPT) mappings only ever grow, so frames proven mapped are
+        # memoized and ``ensure_host_mapped`` becomes one set probe after
+        # first touch.  Cleared on ``load_state`` (a snapshot may predate
+        # mappings the memo has seen).
+        self._host_mapped: set = set()
 
     def guest_table(self, process_id: int) -> PageTable:
         table = self._guest_tables.get(process_id)
@@ -143,8 +148,12 @@ class VirtualMachine:
         """Ensure an EPT mapping exists for ``guest_physical`` (node frames)."""
         if self.native:
             raise RuntimeError("native contexts have no host (EPT) dimension")
+        frame = guest_physical >> PAGE_4K_BITS
+        if frame in self._host_mapped:
+            return
         if self.host_table.lookup(guest_physical) is None:
             self.host_table.map_page(guest_physical, PAGE_4K_BITS)
+        self._host_mapped.add(frame)
 
     # ------------------------------------------------------------------
     # Checkpoint support
@@ -181,6 +190,7 @@ class VirtualMachine:
                     f"{getattr(self, field_name)!r}"
                 )
         self._host_allocator.load_state(state["host_allocator"])
+        self._host_mapped.clear()
         if not self.native:
             self._guest_allocator.load_state(state["guest_allocator"])
             self.host_table.load_state(state["host_table"])
@@ -205,6 +215,12 @@ class PageWalker:
     ):
         self._access = accessor
         self.levels = levels
+        #: Per-level charging-context labels, precomputed so the per-level
+        #: loops below do no string formatting (index = level number).
+        self._level_labels = tuple(f"walk.l{n}" for n in range(levels + 1))
+        self._nested_labels = tuple(
+            f"walk.nested.l{n}" for n in range(levels + 1)
+        )
         self.psc = PagingStructureCache(psc_config, levels=levels)
         self.nested_tlb = NestedTlb(entries=nested_tlb_entries)
         self.walk_kind = walk_kind
@@ -243,25 +259,39 @@ class PageWalker:
         latency = 0
         refs = 0
         acct = self.accountant
-        start_level = table.levels
-        hit = self.psc.probe(asid, virtual_address)
-        latency += self.psc.config.latency
+        psc_latency = self.psc.config.latency
+        hit_level = self.psc.probe_level(asid, virtual_address)
+        latency += psc_latency
         if acct is not None:
-            acct.charge("walk.psc", self.psc.config.latency)
-        if hit is not None:
-            start_level = hit.start_level
+            current = acct._current
+            try:
+                current["walk.psc"] += psc_latency
+            except KeyError:
+                current["walk.psc"] = psc_latency
+            acct.charged += psc_latency
+        start_level = table.levels if hit_level is None else hit_level
         addresses, translation = table.walk_addresses(virtual_address, start_level)
         if translation is None:
             raise KeyError(
                 f"walk of unmapped address {virtual_address:#x} for {asid}"
             )
-        level = start_level
-        for entry_address in addresses:
-            if acct is not None:
-                acct.context(f"walk.l{level}")
-            latency += self._access(entry_address, self.walk_kind, False)
-            refs += 1
-            level -= 1
+        access = self._access
+        walk_kind = self.walk_kind
+        if acct is None:
+            for entry_address in addresses:
+                latency += access(entry_address, walk_kind, False)
+        else:
+            # ``acct.context(label)`` inlined: the walker owns the context
+            # for the whole walk (the System saved the caller's), so each
+            # level is two attribute stores, not a method call.
+            labels = self._level_labels
+            level = start_level
+            acct._split = False
+            for entry_address in addresses:
+                acct._prefix = labels[level]
+                latency += access(entry_address, walk_kind, False)
+                level -= 1
+        refs += len(addresses)
         deepest = start_level - len(addresses) + 1
         self.psc.install(asid, virtual_address, deepest)
         self.stats.walks += 1
@@ -280,13 +310,17 @@ class PageWalker:
         refs = 0
         acct = self.accountant
         guest_table = vm.guest_table(asid.process_id)
-        start_level = guest_table.levels
-        hit = self.psc.probe(asid, virtual_address)
-        latency += self.psc.config.latency
+        psc_latency = self.psc.config.latency
+        hit_level = self.psc.probe_level(asid, virtual_address)
+        latency += psc_latency
         if acct is not None:
-            acct.charge("walk.psc", self.psc.config.latency)
-        if hit is not None:
-            start_level = hit.start_level
+            current = acct._current
+            try:
+                current["walk.psc"] += psc_latency
+            except KeyError:
+                current["walk.psc"] = psc_latency
+            acct.charged += psc_latency
+        start_level = guest_table.levels if hit_level is None else hit_level
         entry_addresses, guest_translation = guest_table.walk_addresses(
             virtual_address, start_level
         )
@@ -297,22 +331,38 @@ class PageWalker:
         # Read each guest node entry; its guest-physical address needs a
         # host-side translation first.
         level = start_level
-        for guest_entry_address in entry_addresses:
-            if acct is not None:
-                acct.context(f"walk.nested.l{level}")
-            host_latency, host_refs, host_entry = self._translate_guest_physical(
-                vm, guest_entry_address
-            )
-            latency += host_latency
-            refs += host_refs
-            if acct is not None:
-                acct.context(f"walk.l{level}")
-            latency += self._access(host_entry, self.walk_kind, False)
-            refs += 1
-            level -= 1
+        access = self._access
+        walk_kind = self.walk_kind
+        translate = self._translate_guest_physical
+        if acct is None:
+            for guest_entry_address in entry_addresses:
+                host_latency, host_refs, host_entry = translate(
+                    vm, guest_entry_address
+                )
+                latency += host_latency
+                refs += host_refs
+                latency += access(host_entry, walk_kind, False)
+            refs += len(entry_addresses)
+        else:
+            # Context switches inlined, as in :meth:`walk_native`.
+            labels = self._level_labels
+            nested_labels = self._nested_labels
+            acct._split = False
+            for guest_entry_address in entry_addresses:
+                acct._prefix = nested_labels[level]
+                host_latency, host_refs, host_entry = translate(
+                    vm, guest_entry_address
+                )
+                latency += host_latency
+                refs += host_refs
+                acct._prefix = labels[level]
+                latency += access(host_entry, walk_kind, False)
+                refs += 1
+                level -= 1
         # Final host walk of the translated guest-physical data address.
         if acct is not None:
-            acct.context("walk.nested.final")
+            acct._prefix = "walk.nested.final"
+            acct._split = False
         guest_physical = guest_translation.physical_address(virtual_address)
         host_latency, host_refs, host_physical = self._translate_guest_physical(
             vm, guest_physical
@@ -345,15 +395,34 @@ class PageWalker:
         """Translate gPA -> hPA via nested TLB or a host (EPT) walk.
 
         Returns (latency, memory references, host physical address).
+        The nested-TLB hit path — most host references of a warm 2-D
+        walk — is inlined down to the backing store (same LRU update and
+        hit/miss counts as ``SmallFullyAssocCache.get``).
         """
         guest_frame = guest_physical >> PAGE_4K_BITS
         acct = self.accountant
-        host_frame = self.nested_tlb.get(vm.vm_id, guest_frame)
+        nested = self.nested_tlb
+        cache = nested._cache
+        store = cache._store
+        key = (vm.vm_id, guest_frame)
+        host_frame = store.get(key)
         if host_frame is not None:
+            store.move_to_end(key)
+            cache.hits += 1
+            ntlb_latency = nested.latency
             if acct is not None:
-                acct.charge_level(".ntlb", self.nested_tlb.latency)
+                prefix = acct._prefix
+                if prefix is not None:
+                    component = prefix + ".ntlb" if acct._split else prefix
+                    current = acct._current
+                    try:
+                        current[component] += ntlb_latency
+                    except KeyError:
+                        current[component] = ntlb_latency
+                    acct.charged += ntlb_latency
             offset = guest_physical & ((1 << PAGE_4K_BITS) - 1)
-            return self.nested_tlb.latency, 0, (host_frame << PAGE_4K_BITS) + offset
+            return ntlb_latency, 0, (host_frame << PAGE_4K_BITS) + offset
+        cache.misses += 1
         vm.ensure_host_mapped(guest_physical)
         latency = self.nested_tlb.latency
         if acct is not None:

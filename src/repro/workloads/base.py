@@ -34,6 +34,84 @@ BATCH = 2048
 AccessStream = Iterator[Tuple[int, bool]]
 
 
+class BatchedStream:
+    """An ``(address, is_write)`` iterator backed by block generation.
+
+    Wraps a generator of *blocks* (lists of ``(address, is_write)``
+    pairs, one per numpy draw) and exposes the plain iterator protocol
+    plus the batched API the engine's hot loop uses:
+
+    * :meth:`take` — the next ``n`` pairs as one list (a single slice in
+      the common case, instead of ``n`` generator resumes);
+    * :meth:`skip` — advance by ``n`` pairs block-at-a-time, which makes
+      a checkpoint restore's stream fast-forward O(consumed / BATCH)
+      list hops instead of O(consumed) ``next()`` calls.
+
+    The wrapper never reorders or drops items: consuming it with plain
+    ``next()`` yields exactly the flattened block sequence, so streams
+    are bit-identical to the pre-batching per-item generators.
+    """
+
+    __slots__ = ("_blocks", "_buffer", "_pos")
+
+    def __init__(self, blocks: Iterator[list]):
+        self._blocks = blocks
+        self._buffer: list = []
+        self._pos = 0
+
+    def __iter__(self) -> "BatchedStream":
+        return self
+
+    def __next__(self) -> Tuple[int, bool]:
+        pos = self._pos
+        buffer = self._buffer
+        if pos >= len(buffer):
+            self._buffer = buffer = next(self._blocks)
+            pos = 0
+        self._pos = pos + 1
+        return buffer[pos]
+
+    def take(self, count: int) -> list:
+        """Return the next ``count`` pairs as a list."""
+        pos = self._pos
+        end = pos + count
+        buffer = self._buffer
+        if end <= len(buffer):
+            self._pos = end
+            return buffer[pos:end]
+        out = buffer[pos:]
+        blocks = self._blocks
+        need = count - len(out)
+        while need > 0:
+            buffer = next(blocks)
+            if need < len(buffer):
+                out.extend(buffer[:need])
+                self._buffer = buffer
+                self._pos = need
+                return out
+            out.extend(buffer)
+            need -= len(buffer)
+        self._buffer = buffer
+        self._pos = len(buffer)
+        return out
+
+    def skip(self, count: int) -> None:
+        """Advance past the next ``count`` pairs without materializing
+        them one at a time (blocks are still generated, so the backing
+        RNG state advances exactly as if they had been consumed)."""
+        buffer = self._buffer
+        pos = self._pos
+        available = len(buffer) - pos
+        remaining = count
+        while remaining > available:
+            remaining -= available
+            buffer = next(self._blocks)
+            pos = 0
+            available = len(buffer)
+        self._buffer = buffer
+        self._pos = pos + remaining
+
+
 class Workload(ABC):
     """One guest program: a named source of per-thread access streams."""
 
@@ -119,7 +197,11 @@ def interleave_streams(
     if not np.isclose(probabilities.sum(), 1.0):
         raise ValueError(f"stream weights must sum to 1, got {probabilities.sum()}")
     iterators = [iter(s) for _, s in streams]
-    while True:
-        choices = rng.choice(len(iterators), size=BATCH, p=probabilities)
-        for choice in choices:
-            yield next(iterators[choice])
+    num_streams = len(iterators)
+
+    def blocks() -> Iterator[list]:
+        while True:
+            choices = rng.choice(num_streams, size=BATCH, p=probabilities)
+            yield [next(iterators[choice]) for choice in choices]
+
+    return BatchedStream(blocks())

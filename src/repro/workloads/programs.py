@@ -27,9 +27,16 @@ from repro.workloads.base import (
     BATCH,
     REGION_4K_BASE,
     AccessStream,
+    BatchedStream,
     Workload,
     zipf_page_sampler,
 )
+
+#: Shared per-block write-flag constants (every generator yields blocks of
+#: plain Python ``bool``/``int`` pairs, bit-identical to the old per-item
+#: generators).
+_READS = [False] * BATCH
+_GUPS_WRITES = [False, True] * BATCH
 
 PAGE = 4096
 HUGE = 2 * 1024 * 1024
@@ -60,14 +67,16 @@ class Gups(Workload):
     def thread_stream(
         self, thread_id: int, num_threads: int = 8, seed: int = 0
     ) -> AccessStream:
+        return BatchedStream(self._blocks(thread_id, seed))
+
+    def _blocks(self, thread_id: int, seed: int):
         rng = np.random.default_rng((seed, thread_id, 0xF005))
         slots = self.table_bytes // 8
         while True:
             picks = rng.integers(0, slots, size=BATCH) * 8
-            for offset in picks:
-                address = int(offset)
-                yield address, False  # read ...
-                yield address, True  # ... modify-write
+            # Each slot is read then modify-written: repeat every address
+            # twice and pair with the alternating read/write flags.
+            yield list(zip(np.repeat(picks, 2).tolist(), _GUPS_WRITES))
 
     @classmethod
     def scaled(cls, factor: float) -> "Gups":
@@ -105,6 +114,9 @@ class Graph500(Workload):
     def thread_stream(
         self, thread_id: int, num_threads: int = 8, seed: int = 0
     ) -> AccessStream:
+        return BatchedStream(self._blocks(thread_id, num_threads, seed))
+
+    def _blocks(self, thread_id: int, num_threads: int, seed: int):
         rng = np.random.default_rng((seed, thread_id, 0x6500))
         vertices = self.vertex_bytes // 64
         sample_vertex = zipf_page_sampler(
@@ -124,15 +136,23 @@ class Graph500(Workload):
             rolls = rng.random(BATCH)
             vertex_picks = sample_vertex(BATCH)
             meta_picks = sample_meta(BATCH)
-            for roll, vertex, meta in zip(rolls, vertex_picks, meta_picks):
-                if roll < self.vertex_fraction:
-                    yield int(vertex) * 64, False
-                elif roll < meta_cut:
-                    # Byte-per-vertex visited/parent array on 4 KB pages.
-                    yield metadata_base + int(meta), True
-                else:
-                    yield edge_base + edge_cursor, False
-                    edge_cursor = (edge_cursor + 16) % edge_span
+            is_vertex = rolls < self.vertex_fraction
+            # Byte-per-vertex visited/parent array on 4 KB pages.
+            is_meta = ~is_vertex & (rolls < meta_cut)
+            is_edge = ~is_vertex & ~is_meta
+            addresses = np.empty(BATCH, dtype=np.int64)
+            addresses[is_vertex] = vertex_picks[is_vertex] * 64
+            addresses[is_meta] = metadata_base + meta_picks[is_meta]
+            edge_count = int(is_edge.sum())
+            if edge_count:
+                # The edge cursor advances only on edge accesses: its
+                # per-item values are the running prefix offsets.
+                steps = (
+                    edge_cursor + 16 * np.arange(edge_count, dtype=np.int64)
+                ) % edge_span
+                addresses[is_edge] = edge_base + steps
+                edge_cursor = (edge_cursor + 16 * edge_count) % edge_span
+            yield list(zip(addresses.tolist(), is_meta.tolist()))
 
 
     @classmethod
@@ -170,6 +190,9 @@ class PageRank(Workload):
     def thread_stream(
         self, thread_id: int, num_threads: int = 8, seed: int = 0
     ) -> AccessStream:
+        return BatchedStream(self._blocks(thread_id, num_threads, seed))
+
+    def _blocks(self, thread_id: int, num_threads: int, seed: int):
         rng = np.random.default_rng((seed, thread_id, 0x9A6E))
         vertices = self.vertex_bytes // 64
         sample_vertex = zipf_page_sampler(
@@ -188,16 +211,21 @@ class PageRank(Workload):
             writes = rng.random(BATCH) < 0.5
             vertex_picks = sample_vertex(BATCH)
             meta_picks = sample_meta(BATCH)
-            for roll, is_write, vertex, meta in zip(
-                rolls, writes, vertex_picks, meta_picks
-            ):
-                if roll < self.vertex_fraction:
-                    yield int(vertex) * 64, bool(is_write)
-                elif roll < meta_cut:
-                    yield metadata_base + int(meta) * 4, False
-                else:
-                    yield edge_base + edge_cursor, False
-                    edge_cursor = (edge_cursor + 16) % edge_span
+            is_vertex = rolls < self.vertex_fraction
+            is_meta = ~is_vertex & (rolls < meta_cut)
+            is_edge = ~is_vertex & ~is_meta
+            addresses = np.empty(BATCH, dtype=np.int64)
+            addresses[is_vertex] = vertex_picks[is_vertex] * 64
+            addresses[is_meta] = metadata_base + meta_picks[is_meta] * 4
+            edge_count = int(is_edge.sum())
+            if edge_count:
+                steps = (
+                    edge_cursor + 16 * np.arange(edge_count, dtype=np.int64)
+                ) % edge_span
+                addresses[is_edge] = edge_base + steps
+                edge_cursor = (edge_cursor + 16 * edge_count) % edge_span
+            # Only vertex updates write; metadata and edge scans read.
+            yield list(zip(addresses.tolist(), (is_vertex & writes).tolist()))
 
 
     @classmethod
@@ -232,6 +260,9 @@ class Canneal(Workload):
     def thread_stream(
         self, thread_id: int, num_threads: int = 8, seed: int = 0
     ) -> AccessStream:
+        return BatchedStream(self._blocks(thread_id, seed))
+
+    def _blocks(self, thread_id: int, seed: int):
         rng = np.random.default_rng((seed, thread_id, 0xCA22))
         hot_pages = self.netlist_bytes // PAGE
         sample_hot = zipf_page_sampler(
@@ -244,14 +275,10 @@ class Canneal(Workload):
             offsets = rng.integers(0, PAGE // 8, size=BATCH) * 8
             colds = rng.random(BATCH) < self.cold_fraction
             writes = rng.random(BATCH) < self.write_fraction
-            for hot, cold, offset, is_cold, is_write in zip(
-                hot_picks, cold_picks, offsets, colds, writes
-            ):
-                if is_cold:
-                    page = hot_pages + int(cold)
-                else:
-                    page = int(hot)
-                yield REGION_4K_BASE + page * PAGE + int(offset), bool(is_write)
+            # Cold picks index the region above the hot netlist pages.
+            pages = np.where(colds, hot_pages + cold_picks, hot_picks)
+            addresses = REGION_4K_BASE + pages * PAGE + offsets
+            yield list(zip(addresses.tolist(), writes.tolist()))
 
 
     @classmethod
@@ -284,6 +311,9 @@ class StreamCluster(Workload):
     def thread_stream(
         self, thread_id: int, num_threads: int = 8, seed: int = 0
     ) -> AccessStream:
+        return BatchedStream(self._blocks(thread_id, num_threads, seed))
+
+    def _blocks(self, thread_id: int, num_threads: int, seed: int):
         rng = np.random.default_rng((seed, thread_id, 0x57C1))
         span = self.points_bytes // num_threads
         base = REGION_4K_BASE + thread_id * span
@@ -291,17 +321,27 @@ class StreamCluster(Workload):
             self.centroid_bytes
         )
         cursor = 0
+        stride = self.stride
         while True:
             centroid_picks = rng.integers(
                 0, self.centroid_bytes // 8, size=BATCH
             ) * 8
             use_centroid = rng.random(BATCH) < self.centroid_fraction
-            for pick, hot in zip(centroid_picks, use_centroid):
-                if hot:
-                    yield centroid_base + int(pick), False
-                else:
-                    yield base + cursor, False
-                    cursor = (cursor + self.stride) % span
+            addresses = np.empty(BATCH, dtype=np.int64)
+            addresses[use_centroid] = (
+                centroid_base + centroid_picks[use_centroid]
+            )
+            cold = ~use_centroid
+            cold_count = int(cold.sum())
+            if cold_count:
+                # The scan cursor advances only on point-stream accesses,
+                # so its per-item values are the running prefix offsets.
+                steps = (
+                    cursor + stride * np.arange(cold_count, dtype=np.int64)
+                ) % span
+                addresses[cold] = base + steps
+                cursor = (cursor + stride * cold_count) % span
+            yield list(zip(addresses.tolist(), _READS))
 
 
     @classmethod
@@ -365,6 +405,9 @@ class ConnectedComponent(Workload):
     def thread_stream(
         self, thread_id: int, num_threads: int = 8, seed: int = 0
     ) -> AccessStream:
+        return BatchedStream(self._blocks(thread_id, seed))
+
+    def _blocks(self, thread_id: int, seed: int):
         rng = np.random.default_rng((seed, thread_id, 0xCC02))
         total_pages = self.region_bytes // PAGE
         sample_stray = zipf_page_sampler(
@@ -393,16 +436,20 @@ class ConnectedComponent(Workload):
                 stray_pages = sample_stray(count)
                 offsets = rng.integers(0, PAGE // 8, size=count) * 8
                 writes = rng.random(count) < self.write_fraction
-                for page, stray, is_root, root_slot, stray_page, offset, is_write in zip(
-                    pages, strays, roots, root_picks, stray_pages, offsets, writes
-                ):
-                    if stray:
-                        chosen = int(stray_page) * PAGE + int(offset)
-                    elif is_root:
-                        chosen = window_start * PAGE + int(root_slot) * 64
-                    else:
-                        chosen = (window_start + int(page)) * PAGE + int(offset)
-                    yield REGION_4K_BASE + chosen, bool(is_write)
+                # Stray lookups take precedence over root hits, matching
+                # the branch order of the reference per-item generator.
+                chosen = np.where(
+                    strays,
+                    stray_pages * PAGE + offsets,
+                    np.where(
+                        roots,
+                        window_start * PAGE + root_picks * 64,
+                        (window_start + pages) * PAGE + offsets,
+                    ),
+                )
+                yield list(
+                    zip((REGION_4K_BASE + chosen).tolist(), writes.tolist())
+                )
                 remaining -= count
             # Generate phase: build the next active list.  "random" mode
             # scatters over the whole region (maximum TLB pressure — the
@@ -414,25 +461,23 @@ class ConnectedComponent(Workload):
                     schedule.integers(0, total_pages - self.window_pages)
                 ) * PAGE
                 cursor = thread_id * 8192
+                window_span = self.window_pages * PAGE
                 while remaining > 0:
                     count = min(BATCH, remaining)
-                    for _ in range(count):
-                        address = scan_base + (
-                            cursor % (self.window_pages * PAGE)
-                        )
-                        yield REGION_4K_BASE + address, True
-                        cursor += 64
+                    steps = (
+                        cursor + 64 * np.arange(count, dtype=np.int64)
+                    ) % window_span
+                    addresses = REGION_4K_BASE + scan_base + steps
+                    yield list(zip(addresses.tolist(), [True] * count))
+                    cursor += 64 * count
                     remaining -= count
             else:
                 while remaining > 0:
                     count = min(BATCH, remaining)
                     pages = rng.integers(0, total_pages, size=count)
                     offsets = rng.integers(0, PAGE // 8, size=count) * 8
-                    for page, offset in zip(pages, offsets):
-                        yield (
-                            REGION_4K_BASE + int(page) * PAGE + int(offset),
-                            True,
-                        )
+                    addresses = REGION_4K_BASE + pages * PAGE + offsets
+                    yield list(zip(addresses.tolist(), [True] * count))
                     remaining -= count
             window_start = int(
                 schedule.integers(0, total_pages - self.window_pages)

@@ -8,12 +8,15 @@ import pytest
 from repro.experiments.bench import (
     BenchError,
     FULL_MATRIX,
+    MICRO_COMPONENTS,
     QUICK_MATRIX,
     SCHEMA_VERSION,
     compare_bench,
     format_bench,
+    format_micro_bench,
     load_bench,
     run_bench,
+    run_micro_bench,
     write_bench,
 )
 
@@ -127,3 +130,44 @@ class TestCompareBench:
         document = load_bench(str(baseline))
         assert document["quick"] is True
         assert document["points"]
+
+
+class TestMicroBench:
+    @pytest.fixture(scope="class")
+    def micro_document(self):
+        return run_micro_bench(operations=500)
+
+    def test_covers_every_datapath_layer(self, micro_document):
+        names = [p["point"] for p in micro_document["points"]]
+        assert names == [name for name, _ in MICRO_COMPONENTS]
+        assert {"cache.lookup", "cache.fill", "tlb.lookup",
+                "walk.native", "walk.virtualized"} == set(names)
+
+    def test_point_fields(self, micro_document):
+        assert micro_document["micro"] is True
+        assert micro_document["operations_per_point"] == 500
+        for point in micro_document["points"]:
+            assert point["operations"] == 500
+            assert point["host_seconds"] > 0
+            assert point["ns_per_op"] > 0
+            assert point["ops_per_second"] > 0
+
+    def test_document_round_trips_through_store(self, micro_document,
+                                                tmp_path):
+        path = write_bench(micro_document, str(tmp_path))
+        loaded = load_bench(path)
+        assert loaded["micro"] is True
+        assert loaded["points"] == json.loads(
+            json.dumps(micro_document["points"])
+        )
+
+    def test_format_lists_every_component(self, micro_document):
+        table = format_micro_bench(micro_document)
+        for name, _ in MICRO_COMPONENTS:
+            assert name in table
+
+    def test_progress_callback(self):
+        seen = []
+        run_micro_bench(operations=10, progress=seen.append)
+        assert len(seen) == len(MICRO_COMPONENTS)
+        assert all(line.startswith("micro ") for line in seen)

@@ -276,10 +276,11 @@ class TestCacheProperties:
         # Count lines by kind per set; each kind bounded by its partition
         # (all fills happened under the partition, so no stragglers).
         for set_index in range(cache.num_sets):
+            base = set_index * cache.ways
             kinds = [
-                cache._way_kind[set_index][w]
+                cache._way_kind[base + w]
                 for w in range(cache.ways)
-                if cache._way_tag[set_index][w] != -1
+                if cache._way_tag[base + w] != -1
             ]
             assert kinds.count(0) <= data_ways
             assert kinds.count(1) <= cache.ways - data_ways
@@ -293,4 +294,4 @@ class TestCacheProperties:
             cache.lookup(address, kind) or cache.fill(address, kind)
         for set_index in range(cache.num_sets):
             for tag, way in cache._tag_to_way[set_index].items():
-                assert cache._way_tag[set_index][way] == tag
+                assert cache._way_tag[set_index * cache.ways + way] == tag
